@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates the data behind one figure or table of the
+paper and prints the rows/series it reports, so that running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a textual version of the paper's evaluation section.  The
+``benchmark`` fixture measures the time to regenerate the experiment; the
+assertions check the *shape* of the result (who wins, direction of trends,
+approximate factors), not absolute numbers, per the reproduction contract
+recorded in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print a small fixed-width table (the figure's data series)."""
+    print()
+    print(f"=== {title} ===")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4f}".ljust(width))
+            else:
+                cells.append(str(value).ljust(width))
+        print("  ".join(cells))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the benchmarked callable exactly once (the experiments are
+    long-running simulations; repeating them inflates the suite's runtime
+    without improving the figure)."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

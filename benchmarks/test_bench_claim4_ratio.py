@@ -1,0 +1,62 @@
+"""Claim 4's closed form: p'/p = 16/9 for the TCP-like AIMD setting.
+
+Section IV-A.2 derives, for a single sender on a fixed-capacity link with
+unit RTT, the loss-event rates of an AIMD(alpha, beta) sender and of an
+equation-based sender using the matching loss-throughput formula, and
+obtains a ratio of 16/9 (about 1.78) for beta = 1/2.  This benchmark
+regenerates the closed forms and the deterministic fluid simulations that
+validate them, for a range of beta.
+"""
+
+from repro.analysis import (
+    claim4_prediction,
+    loss_event_rate_ratio,
+    simulate_aimd_on_link,
+    simulate_equation_based_on_link,
+)
+
+from conftest import print_table
+
+BETAS = (0.3, 0.5, 0.7, 0.9)
+CAPACITY = 80.0
+
+
+def generate_claim4():
+    rows = []
+    for beta in BETAS:
+        prediction = claim4_prediction(alpha=1.0, beta=beta, capacity=CAPACITY)
+        simulated_aimd = simulate_aimd_on_link(
+            alpha=1.0, beta=beta, capacity=CAPACITY, num_cycles=2_000
+        )
+        simulated_ebrc = simulate_equation_based_on_link(
+            alpha=1.0, beta=beta, capacity=CAPACITY, num_events=4_000
+        )
+        rows.append(
+            [
+                beta,
+                prediction.aimd_loss_rate,
+                prediction.equation_based_loss_rate,
+                prediction.ratio,
+                loss_event_rate_ratio(beta),
+                simulated_aimd / simulated_ebrc,
+            ]
+        )
+    return rows
+
+
+def test_claim4_loss_rate_ratio(run_once):
+    rows = run_once(generate_claim4)
+    print_table(
+        "Claim 4: AIMD vs equation-based loss-event rates on a fixed-capacity link",
+        ["beta", "p' (AIMD)", "p (EBRC)", "p'/p closed form",
+         "4/(1+beta)^2", "p'/p simulated"],
+        rows,
+    )
+    for row in rows:
+        beta, _, _, closed_ratio, formula_ratio, simulated_ratio = row
+        assert closed_ratio > 1.0
+        assert abs(closed_ratio - formula_ratio) < 1e-9
+        assert abs(simulated_ratio - closed_ratio) / closed_ratio < 0.2
+    # The headline number: 16/9 for beta = 1/2.
+    tcp_like = [row for row in rows if row[0] == 0.5][0]
+    assert abs(tcp_like[3] - 16.0 / 9.0) < 1e-9

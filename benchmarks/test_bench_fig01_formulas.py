@@ -1,0 +1,74 @@
+"""Figure 1: the functions x -> f(1/x) and x -> 1/f(1/x) for the three formulas.
+
+The paper plots both mappings for SQRT, PFTK-standard and PFTK-simplified
+with r = 1 and q = 4r, noting that (i) the PFTK curves overlap for large
+intervals, (ii) 1/f(1/x) looks convex for all three (strictly true only for
+SQRT and PFTK-simplified) and (iii) f(1/x) is concave for SQRT but convex
+for the PFTK formulas under heavy loss (small x).
+"""
+
+import numpy as np
+
+from repro.core import (
+    PftkSimplifiedFormula,
+    PftkStandardFormula,
+    SqrtFormula,
+    analyze_formula_convexity,
+)
+
+from conftest import print_table
+
+
+def generate_figure1():
+    grid = np.array([1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0])
+    formulas = {
+        "SQRT": SqrtFormula(rtt=1.0),
+        "PFTK-standard": PftkStandardFormula(rtt=1.0),
+        "PFTK-simplified": PftkSimplifiedFormula(rtt=1.0),
+    }
+    rows = []
+    for x in grid:
+        row = [x]
+        for formula in formulas.values():
+            row.append(float(formula.rate_of_interval(x)))
+        for formula in formulas.values():
+            row.append(float(formula.g(x)))
+        rows.append(row)
+    reports = {
+        name: analyze_formula_convexity(formula, 1.0, 50.0)
+        for name, formula in formulas.items()
+    }
+    return rows, reports
+
+
+def test_fig01_formula_curves(run_once):
+    rows, reports = run_once(generate_figure1)
+    print_table(
+        "Figure 1: f(1/x) and 1/f(1/x), r=1, q=4r",
+        ["x", "f SQRT", "f PFTK-std", "f PFTK-simpl",
+         "g SQRT", "g PFTK-std", "g PFTK-simpl"],
+        rows,
+    )
+    print_table(
+        "Figure 1 (convexity verdicts on [1, 50])",
+        ["formula", "g convex", "g deviation", "f(1/x) concave"],
+        [
+            [name, report.g_is_convex, report.g_deviation_ratio,
+             report.f_of_inverse_is_concave]
+            for name, report in reports.items()
+        ],
+    )
+    # Shape checks from the figure's caption.
+    assert reports["SQRT"].g_is_convex
+    assert reports["PFTK-simplified"].g_is_convex
+    assert not reports["PFTK-standard"].g_is_convex
+    assert reports["PFTK-standard"].g_deviation_ratio < 1.01
+    assert reports["SQRT"].f_of_inverse_is_concave
+    # PFTK curves overlap with SQRT as x grows (rare losses).
+    sqrt = SqrtFormula(rtt=1.0)
+    pftk = PftkStandardFormula(rtt=1.0)
+    assert float(pftk.rate_of_interval(1000.0)) / float(
+        sqrt.rate_of_interval(1000.0)
+    ) > 0.9
+    # Heavy losses: PFTK rate collapses well below SQRT.
+    assert float(pftk.rate_of_interval(2.0)) < 0.5 * float(sqrt.rate_of_interval(2.0))

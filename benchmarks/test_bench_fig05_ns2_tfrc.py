@@ -1,0 +1,68 @@
+"""Figure 5: TFRC over a RED bottleneck -- normalized throughput and covariance vs p.
+
+The paper's ns-2 experiment runs equal numbers of TFRC and TCP Sack flows
+over a RED bottleneck and plots, per experiment, the normalized throughput
+x_bar/f(p) of TFRC and the normalised covariance cov[theta_0, theta_hat_0] p^2
+against the loss-event rate p (which grows with the number of competing
+connections).  Expected shape: the normalized throughput falls below one
+and decreases as p grows; the normalised covariance stays close to zero.
+"""
+
+import math
+
+from repro.core import PftkStandardFormula
+from repro.measurement import scenario_summaries
+from repro.simulator import ns2_config, run_dumbbell
+
+from conftest import print_table
+
+CONNECTION_COUNTS = (1, 2, 4, 8)
+DURATION = 120.0
+
+
+def generate_figure5():
+    rows = []
+    for count in CONNECTION_COUNTS:
+        config = ns2_config(num_connections=count, duration=DURATION, seed=100 + count)
+        result = run_dumbbell(config)
+        formula = PftkStandardFormula(rtt=config.rtt_seconds)
+        summaries = [
+            s for s in scenario_summaries(result, formula=formula) if s.label == "tfrc"
+        ]
+        for summary in summaries:
+            if summary.loss_event_rate <= 0.0:
+                continue
+            rows.append(
+                [
+                    count,
+                    summary.loss_event_rate,
+                    summary.normalized_throughput,
+                    summary.normalized_covariance,
+                ]
+            )
+    return rows
+
+
+def test_fig05_tfrc_over_red(run_once):
+    rows = run_once(generate_figure5)
+    print_table(
+        "Figure 5: TFRC over RED -- x_bar/f(p) and cov[theta, theta_hat] p^2 vs p",
+        ["connections", "p", "x_bar/f(p)", "norm. cov"],
+        rows,
+    )
+    assert len(rows) >= len(CONNECTION_COUNTS)
+    loss_rates = [row[1] for row in rows]
+    normalized = [row[2] for row in rows]
+    covariances = [row[3] for row in rows if not math.isnan(row[3])]
+    # Loss-event rates span a non-trivial range as the load grows.
+    assert max(loss_rates) > min(loss_rates)
+    # TFRC stays conservative (or very close) throughout.
+    assert all(value < 1.25 for value in normalized)
+    assert sum(value < 1.0 for value in normalized) >= len(normalized) // 2
+    # The normalised covariance is small (condition (C1) territory).
+    assert covariances and all(abs(value) < 0.5 for value in covariances)
+    # Trend: heavier loss does not make TFRC less conservative.
+    heavy = [v for p, v in zip(loss_rates, normalized) if p >= sorted(loss_rates)[len(loss_rates) // 2]]
+    light = [v for p, v in zip(loss_rates, normalized) if p < sorted(loss_rates)[len(loss_rates) // 2]]
+    if heavy and light:
+        assert sum(heavy) / len(heavy) <= sum(light) / len(light) + 0.15

@@ -1,0 +1,70 @@
+"""Figure 6: audio sender (fixed packet clock, variable length) through a Bernoulli dropper.
+
+Claim 2's validation: the sender emits one packet per period, adjusts its
+rate by packet length, and every packet is dropped independently with
+probability p, so the send rate and the inter-loss duration are
+uncorrelated.  The paper plots the normalized throughput x_bar/f(p) and the
+squared coefficient of variation of theta_hat against p, for L = 4:
+with SQRT the control stays conservative; with PFTK formulas it becomes
+non-conservative for heavy loss (the convex region of f(1/x)).
+"""
+
+from repro.core import PftkSimplifiedFormula, PftkStandardFormula, SqrtFormula
+from repro.simulator import AudioSource, Simulator
+
+from conftest import print_table
+
+LOSS_PROBABILITIES = (0.02, 0.05, 0.1, 0.15, 0.2, 0.25)
+DURATION = 240.0
+PACKET_PERIOD = 0.002  # scaled-down packet clock: same packet count, less wall time
+
+
+def run_audio(formula, loss_probability, seed):
+    simulator = Simulator(seed=seed)
+    source = AudioSource(
+        simulator,
+        loss_probability=loss_probability,
+        formula=formula,
+        history_length=4,
+        packet_period=PACKET_PERIOD,
+    )
+    simulator.run(until=DURATION)
+    estimates = source.estimate_samples[len(source.estimate_samples) // 10:]
+    mean_estimate = sum(estimates) / len(estimates)
+    variance = sum((e - mean_estimate) ** 2 for e in estimates) / len(estimates)
+    squared_cv = variance / mean_estimate**2 if mean_estimate > 0 else 0.0
+    return source.normalized_throughput(), squared_cv
+
+
+def generate_figure6():
+    formulas = {
+        "SQRT": SqrtFormula(rtt=1.0),
+        "PFTK-standard": PftkStandardFormula(rtt=1.0),
+        "PFTK-simplified": PftkSimplifiedFormula(rtt=1.0),
+    }
+    rows = []
+    results = {}
+    for name, formula in formulas.items():
+        for index, p in enumerate(LOSS_PROBABILITIES):
+            normalized, squared_cv = run_audio(formula, p, seed=300 + index)
+            rows.append([name, p, normalized, squared_cv])
+            results[(name, p)] = normalized
+    return rows, results
+
+
+def test_fig06_audio_source(run_once):
+    rows, results = run_once(generate_figure6)
+    print_table(
+        "Figure 6: audio source through a Bernoulli dropper (L=4)",
+        ["formula", "p", "x_bar/f(p)", "cv^2[theta_hat]"],
+        rows,
+    )
+    # SQRT stays close to (or below) the formula across the range.
+    for p in LOSS_PROBABILITIES:
+        assert results[("SQRT", p)] < 1.12
+    # PFTK becomes non-conservative under heavy loss and exceeds SQRT there.
+    assert results[("PFTK-simplified", 0.25)] > 1.0
+    assert results[("PFTK-standard", 0.25)] > 1.0
+    assert results[("PFTK-simplified", 0.25)] > results[("SQRT", 0.25)]
+    # The effect grows with the loss probability.
+    assert results[("PFTK-simplified", 0.25)] > results[("PFTK-simplified", 0.02)]

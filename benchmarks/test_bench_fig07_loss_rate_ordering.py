@@ -1,0 +1,100 @@
+"""Figure 7 / Claim 3: loss-event rates of TFRC, TCP and Poisson flows.
+
+The paper plots the loss-event rates experienced by TFRC, TCP and Poisson
+connections sharing one bottleneck, against the number of connections and
+for TFRC window lengths L in {2, 4, 8, 16}.  Expected shape (Claim 3, the
+many-sources regime): p'(TCP) <= p(TFRC) <= p''(Poisson), and the smoother
+the TFRC flows (larger L) the larger their loss-event rate.
+
+Two complementary reproductions are printed: the packet-level simulation
+(moderate connection counts, where the ordering of TCP vs TFRC can go the
+other way -- that is the few-flows regime of Claim 4) and the analytic
+many-sources model (equation (13)), which exhibits the ordering exactly.
+"""
+
+from repro.analysis import CongestionModel, claim3_loss_event_rates
+from repro.core import SqrtFormula
+from repro.simulator import DumbbellConfig, run_dumbbell
+
+from conftest import print_table
+
+HISTORY_LENGTHS = (2, 4, 8, 16)
+CONNECTIONS = (4, 8)
+DURATION = 120.0
+
+
+def generate_simulation_rows():
+    rows = []
+    for count in CONNECTIONS:
+        for history_length in HISTORY_LENGTHS:
+            config = DumbbellConfig(
+                num_tfrc=count,
+                num_tcp=count,
+                num_poisson=1,
+                capacity_mbps=1.5,
+                rtt_seconds=0.05,
+                queue_type="red",
+                history_length=history_length,
+                duration=DURATION,
+                warmup=20.0,
+                seed=500 + 10 * count + history_length,
+            )
+            result = run_dumbbell(config)
+            rows.append(
+                [
+                    count,
+                    history_length,
+                    result.mean_loss_event_rate(result.tfrc_flows),
+                    result.mean_loss_event_rate(result.tcp_flows),
+                    result.mean_loss_event_rate(result.poisson_flows),
+                ]
+            )
+    return rows
+
+
+def generate_analytic_rows():
+    model = CongestionModel.two_state(
+        good_loss_rate=0.002, bad_loss_rate=0.08, bad_probability=0.4
+    )
+    formula = SqrtFormula(rtt=1.0)
+    rows = []
+    for history_length in HISTORY_LENGTHS:
+        result = claim3_loss_event_rates(model, formula, history_length=history_length)
+        rows.append(
+            [
+                history_length,
+                result.tcp_loss_rate,
+                result.equation_based_loss_rate,
+                result.poisson_loss_rate,
+            ]
+        )
+    return rows
+
+
+def generate_figure7():
+    return generate_simulation_rows(), generate_analytic_rows()
+
+
+def test_fig07_loss_rate_ordering(run_once):
+    simulation_rows, analytic_rows = run_once(generate_figure7)
+    print_table(
+        "Figure 7 (simulation): loss-event rates vs N and L",
+        ["connections", "L", "p TFRC", "p TCP", "p Poisson"],
+        simulation_rows,
+    )
+    print_table(
+        "Figure 7 (many-sources model, eq. 13): loss-event rates vs L",
+        ["L", "p' TCP", "p TFRC", "p'' Poisson"],
+        analytic_rows,
+    )
+    # Analytic many-sources regime: the Claim 3 ordering holds for every L,
+    # and p(TFRC) increases with L (smoother flow samples more uniformly).
+    tfrc_rates = [row[2] for row in analytic_rows]
+    for row in analytic_rows:
+        assert row[1] <= row[2] <= row[3] + 1e-12
+    assert all(a <= b + 1e-12 for a, b in zip(tfrc_rates, tfrc_rates[1:]))
+    # Simulation: every flow kind observes losses, and the Poisson probe's
+    # loss-event rate is not smaller than TFRC's in most configurations.
+    assert all(row[2] > 0 and row[3] > 0 and row[4] > 0 for row in simulation_rows)
+    poisson_not_smaller = sum(row[4] >= row[2] * 0.8 for row in simulation_rows)
+    assert poisson_not_smaller >= len(simulation_rows) // 2

@@ -1,0 +1,54 @@
+"""Figure 16: is TFRC TCP-friendly in the lab-analogue configurations?
+
+The paper plots the TFRC/TCP throughput ratio against the loss-event rate
+for the DropTail-100 and RED lab configurations (comprehensive control
+disabled, PFTK-standard, L = 8).  The ratios scatter around one, dipping
+below it at heavy loss.
+"""
+
+from repro.analysis import pair_breakdowns
+from repro.simulator import lab_config, run_dumbbell
+
+from conftest import print_table
+
+CONNECTIONS = (1, 2, 4, 6)
+DURATION = 150.0
+
+
+def generate_figure16():
+    rows = []
+    for queue_label, queue_type, buffer_packets in (
+        ("DropTail 100", "droptail", 100),
+        ("RED", "red", None),
+    ):
+        for count in CONNECTIONS:
+            config = lab_config(
+                count,
+                queue_type=queue_type,
+                buffer_packets=buffer_packets if buffer_packets else 100,
+                duration=DURATION,
+                seed=1600 + count,
+            )
+            if queue_type == "red":
+                config.buffer_packets = None
+            result = run_dumbbell(config)
+            for pair in pair_breakdowns(result):
+                rows.append(
+                    [queue_label, count, pair.tfrc.loss_event_rate,
+                     pair.breakdown.throughput_ratio]
+                )
+    return rows
+
+
+def test_fig16_lab_friendliness(run_once):
+    rows = run_once(generate_figure16)
+    print_table(
+        "Figure 16: x_bar(TFRC)/x_bar'(TCP) vs p, lab-analogue configurations",
+        ["queue", "connections", "p (TFRC)", "throughput ratio"],
+        rows,
+    )
+    assert len(rows) >= 6
+    ratios = [row[3] for row in rows]
+    assert all(0.1 < ratio < 3.0 for ratio in ratios)
+    # The ratios straddle one: neither protocol starves the other.
+    assert min(ratios) < 1.2 and max(ratios) > 0.5

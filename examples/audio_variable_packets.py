@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Claim 2's audio source: fixed packet clock, variable packet lengths.
+
+An adaptive audio sender emits one packet every period and adapts its send
+rate by changing the packet length; packets traverse a Bernoulli dropper
+(every packet lost independently with probability p).  Because losses are
+independent of the send rate, cov[X_n, S_n] = 0 and Theorem 2 applies:
+
+* with the SQRT formula (f(1/x) concave) the control is conservative;
+* with PFTK under heavy loss (f(1/x) convex there) it is non-conservative.
+
+This example sweeps the drop probability for both formulas and prints the
+normalized throughput, reproducing the shape of Figure 6.
+
+Run with::
+
+    python examples/audio_variable_packets.py [--duration 600]
+"""
+
+import argparse
+
+from repro.core import PftkSimplifiedFormula, SqrtFormula
+from repro.simulator import AudioSource, Simulator
+
+DROP_PROBABILITIES = (0.02, 0.05, 0.1, 0.2, 0.25)
+
+
+def run_audio(formula, loss_probability, duration, seed):
+    simulator = Simulator(seed=seed)
+    source = AudioSource(
+        simulator,
+        loss_probability=loss_probability,
+        formula=formula,
+        history_length=4,
+        packet_period=0.002,
+    )
+    simulator.run(until=duration)
+    return source.normalized_throughput()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=600.0,
+                        help="simulated seconds per point")
+    parser.add_argument("--seed", type=int, default=9)
+    arguments = parser.parse_args()
+
+    formulas = {
+        "SQRT": SqrtFormula(rtt=1.0),
+        "PFTK-simplified": PftkSimplifiedFormula(rtt=1.0),
+    }
+    print("Audio source through a Bernoulli dropper (L = 4): x_bar / f(p)")
+    print("".ljust(18) + "".join(f"p={p}".rjust(10) for p in DROP_PROBABILITIES))
+    for name, formula in formulas.items():
+        values = [
+            run_audio(formula, p, arguments.duration, arguments.seed + i)
+            for i, p in enumerate(DROP_PROBABILITIES)
+        ]
+        print(name.ljust(18) + "".join(f"{v:10.3f}" for v in values))
+
+    print()
+    print("Expected shape (Claim 2 / Figure 6): SQRT stays at or below ~1 for "
+          "every p; PFTK crosses above 1 as the drop probability grows into "
+          "the convex region of f(1/x) -- a genuinely non-conservative "
+          "equation-based control.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Conservativeness study: regenerate the shape of Figures 3 and 4.
+
+Sweeps the loss-event rate and the loss-event interval variability for the
+basic control under SQRT and PFTK-simplified, printing the normalized
+throughput x_bar/f(p) per estimator window length.  This is the paper's
+"numerical experiments" methodology (Section V-A.1) and validates Claim 1:
+
+* the more convex 1/f(1/x) in the estimator's working region (PFTK under
+  heavy loss), the more conservative the control;
+* the more variable the estimator (large cv, small L), the more
+  conservative the control.
+
+Run with::
+
+    python examples/conservativeness_study.py [--events 20000]
+"""
+
+import argparse
+
+from repro.core import PftkSimplifiedFormula, SqrtFormula
+from repro.montecarlo import (
+    FIGURE3_CV,
+    sweep_coefficient_of_variation,
+    sweep_loss_event_rate,
+)
+
+LOSS_RATES = (0.01, 0.1, 0.2, 0.4)
+CVS = (0.2, 0.6, 0.999)
+WINDOWS = (1, 4, 16)
+
+
+def print_grid(title, row_labels, column_labels, values):
+    print()
+    print(title)
+    header = "".ljust(10) + "".join(str(c).rjust(12) for c in column_labels)
+    print(header)
+    for label, row in zip(row_labels, values):
+        print(str(label).ljust(10) + "".join(f"{v:12.3f}" for v in row))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=20_000,
+                        help="loss events per sweep point")
+    arguments = parser.parse_args()
+
+    for name, formula in (("SQRT", SqrtFormula(rtt=1.0)),
+                          ("PFTK-simplified", PftkSimplifiedFormula(rtt=1.0))):
+        points = sweep_loss_event_rate(
+            formula,
+            loss_event_rates=LOSS_RATES,
+            history_lengths=WINDOWS,
+            coefficient_of_variation=FIGURE3_CV,
+            num_events=arguments.events,
+            seed=1,
+        )
+        grid = {(pt.history_length, pt.loss_event_rate): pt.normalized_throughput
+                for pt in points}
+        print_grid(
+            f"[Figure 3 shape] {name}: x_bar/f(p) vs p (rows: L, cv = 1 - 1/1000)",
+            [f"L={w}" for w in WINDOWS],
+            [f"p={p}" for p in LOSS_RATES],
+            [[grid[(w, p)] for p in LOSS_RATES] for w in WINDOWS],
+        )
+
+    formula = PftkSimplifiedFormula(rtt=1.0)
+    for loss_rate in (0.01, 0.1):
+        points = sweep_coefficient_of_variation(
+            formula,
+            loss_event_rate=loss_rate,
+            coefficients_of_variation=CVS,
+            history_lengths=WINDOWS,
+            num_events=arguments.events,
+            seed=2,
+        )
+        grid = {(pt.history_length, pt.coefficient_of_variation):
+                pt.normalized_throughput for pt in points}
+        print_grid(
+            f"[Figure 4 shape] PFTK-simplified, p={loss_rate}: x_bar/f(p) vs cv",
+            [f"L={w}" for w in WINDOWS],
+            [f"cv={c}" for c in CVS],
+            [[grid[(w, c)] for c in CVS] for w in WINDOWS],
+        )
+
+    print()
+    print("Reading the tables: values below 1 mean the control achieves less "
+          "than f(p) (conservative).  PFTK-simplified drops sharply for large "
+          "p and small L -- the throughput drop the paper explains; SQRT is "
+          "nearly flat in p.  Larger loss-interval variability (cv -> 1) "
+          "strengthens the effect, larger L weakens it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Who sees more loss events: TCP, TFRC, or a Poisson probe?
+
+Reproduces the two regimes of Section IV-A:
+
+* the **many-sources limit** (Claim 3), evaluated analytically with the
+  congestion-process sampling formula (equation (13)): the more responsive
+  the source, the *smaller* the loss-event rate it observes, so
+  p'(TCP) <= p(TFRC) <= p''(Poisson), and a smoother TFRC (larger L) drifts
+  toward the Poisson end;
+* the **few-flows regime** (Claim 4), evaluated with the closed-form fixed
+  capacity model and with the packet-level simulator: there the ordering
+  reverses -- TCP sees roughly 16/9 times more loss events than TFRC.
+
+Run with::
+
+    python examples/loss_rate_comparison.py [--duration 120]
+"""
+
+import argparse
+
+from repro.analysis import (
+    CongestionModel,
+    claim3_loss_event_rates,
+    claim4_prediction,
+    loss_rate_ratio,
+)
+from repro.core import SqrtFormula
+from repro.simulator import DumbbellConfig, run_dumbbell
+
+
+def many_sources_section() -> None:
+    print("Many-sources limit (Claim 3, analytic, equation (13))")
+    model = CongestionModel.two_state(
+        good_loss_rate=0.002, bad_loss_rate=0.08, bad_probability=0.4
+    )
+    formula = SqrtFormula(rtt=1.0)
+    print("".ljust(8) + "p' (TCP)".rjust(12) + "p (TFRC)".rjust(12)
+          + "p'' (Poisson)".rjust(14))
+    for window in (2, 4, 8, 16):
+        result = claim3_loss_event_rates(model, formula, history_length=window)
+        print(f"L={window}".ljust(8)
+              + f"{result.tcp_loss_rate:12.4f}"
+              + f"{result.equation_based_loss_rate:12.4f}"
+              + f"{result.poisson_loss_rate:14.4f}")
+    print()
+
+
+def few_flows_section(duration: float, seed: int) -> None:
+    print("Few competing flows (Claim 4)")
+    prediction = claim4_prediction(alpha=1.0, beta=0.5, capacity=80.0)
+    print(f"  closed form: p'(AIMD) = {prediction.aimd_loss_rate:.5f}, "
+          f"p(EBRC) = {prediction.equation_based_loss_rate:.5f}, "
+          f"ratio = {prediction.ratio:.3f} (= 16/9)")
+    config = DumbbellConfig(
+        num_tfrc=1, num_tcp=1, capacity_mbps=2.0, rtt_seconds=0.05,
+        queue_type="droptail", buffer_packets=12,
+        duration=duration, warmup=duration / 6.0, seed=seed,
+    )
+    result = run_dumbbell(config)
+    print(f"  packet-level simulation (1 TCP + 1 TFRC, DropTail): "
+          f"p'/p = {loss_rate_ratio(result):.3f} "
+          f"(less pronounced than 16/9, as the paper notes)")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=3)
+    arguments = parser.parse_args()
+    many_sources_section()
+    few_flows_section(arguments.duration, arguments.seed)
+    print("Take-away: which protocol sees more loss events depends on the "
+          "regime.  In a large network the smoother source samples the "
+          "congestion process more uniformly and sees *more* loss events; "
+          "with a few flows on one bottleneck TCP's sawtooth makes it hit "
+          "the queue limit more often and it sees *more* loss events than "
+          "TFRC -- which is exactly what makes TFRC non-TCP-friendly there.")
+
+
+if __name__ == "__main__":
+    main()

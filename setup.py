@@ -1,0 +1,10 @@
+"""Setup shim for environments without the wheel package.
+
+The project metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` (legacy editable install) on machines
+where the PEP 517 build path is unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

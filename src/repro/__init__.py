@@ -1,0 +1,42 @@
+"""repro: reproduction of "On the Long-Run Behavior of Equation-Based Rate Control".
+
+Vojnovic & Le Boudec, ACM SIGCOMM 2002 (extended report IC/2003/70).
+
+Subpackages
+-----------
+core
+    Loss-throughput formulas, the loss-event interval estimator, the basic
+    and comprehensive controls, analytic throughput (Propositions 1-3),
+    convexity diagnostics, sufficient conditions (Theorems 1-2), and the
+    TCP-friendliness breakdown.
+lossprocess
+    Stochastic models of the loss-event interval sequence.
+palm
+    Palm-calculus estimators and statistics helpers.
+montecarlo
+    The paper's numerical experiments (Figures 3 and 4).
+simulator
+    A packet-level discrete-event simulator (ns-2 substitute) with
+    DropTail/RED queues, TCP, TFRC, and probe sources.
+measurement
+    Loss-event detection and per-flow statistics extraction from
+    simulation traces.
+analysis
+    The many-sources limit (Claim 3), the few-flows fixed-capacity model
+    (Claim 4), and the empirical TCP-friendliness breakdown.
+"""
+
+from . import analysis, core, lossprocess, measurement, montecarlo, palm, simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "lossprocess",
+    "measurement",
+    "montecarlo",
+    "palm",
+    "simulator",
+    "__version__",
+]

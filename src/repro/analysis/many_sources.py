@@ -1,0 +1,232 @@
+"""Claim 3: the many-sources limit and the congestion-process sampling formula.
+
+Section IV-A.1 models the network as a congestion process ``Z(t)`` over a
+countable state space, with per-state loss-event rate ``p_i`` and
+stationary distribution ``pi_i``.  In the separation-of-timescales limit
+(the congestion process evolves slower than the control), the loss-event
+rate experienced by a source whose conditional time-average send rate in
+state ``i`` is ``x_i`` is (equation (13))::
+
+    p  ->  sum_i p_i x_i pi_i / sum_i x_i pi_i
+
+A non-adaptive source has ``x_i`` independent of ``i`` and therefore sees
+the time-average loss-event rate ``p'' = sum_i pi_i p_i``; a perfectly
+responsive source (TCP) concentrates its traffic in the good states and
+sees a smaller value; an equation-based source with averaging window ``L``
+is in between, approaching TCP as it becomes more responsive (small ``L``).
+This gives Claim 3's ordering ``p' <= p <= p''``.
+
+The module provides the sampling formula, responsiveness models for the
+three source types, and a discrete-event validation that samples the
+congestion process directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.formulas import LossThroughputFormula
+
+__all__ = [
+    "CongestionModel",
+    "sampled_loss_event_rate",
+    "poisson_source_rate_profile",
+    "responsive_source_rate_profile",
+    "equation_based_rate_profile",
+    "claim3_loss_event_rates",
+    "Claim3Result",
+    "simulate_congestion_sampling",
+]
+
+
+@dataclass(frozen=True)
+class CongestionModel:
+    """A finite-state congestion process in the many-sources limit.
+
+    Attributes
+    ----------
+    stationary_probabilities:
+        ``pi_i`` -- stationary probability of each congestion state.
+    loss_event_rates:
+        ``p_i`` -- loss-event rate (per packet) in each state.
+    """
+
+    stationary_probabilities: np.ndarray
+    loss_event_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        probabilities = np.asarray(self.stationary_probabilities, dtype=float)
+        rates = np.asarray(self.loss_event_rates, dtype=float)
+        object.__setattr__(self, "stationary_probabilities", probabilities)
+        object.__setattr__(self, "loss_event_rates", rates)
+        if probabilities.ndim != 1 or probabilities.size == 0:
+            raise ValueError("stationary_probabilities must be a non-empty 1-D array")
+        if probabilities.shape != rates.shape:
+            raise ValueError("probabilities and rates must have the same shape")
+        if np.any(probabilities < 0.0) or not np.isclose(probabilities.sum(), 1.0):
+            raise ValueError("stationary_probabilities must be a probability vector")
+        if np.any(rates <= 0.0) or np.any(rates > 1.0):
+            raise ValueError("loss_event_rates must be in (0, 1]")
+
+    @property
+    def num_states(self) -> int:
+        return self.stationary_probabilities.size
+
+    def time_average_loss_rate(self) -> float:
+        """``p'' = sum_i pi_i p_i`` -- what a non-adaptive source sees."""
+        return float(np.dot(self.stationary_probabilities, self.loss_event_rates))
+
+    @classmethod
+    def two_state(
+        cls,
+        good_loss_rate: float = 0.005,
+        bad_loss_rate: float = 0.1,
+        bad_probability: float = 0.3,
+    ) -> "CongestionModel":
+        """A simple good/congested two-state model used in examples/tests."""
+        if not 0.0 < bad_probability < 1.0:
+            raise ValueError("bad_probability must be in (0, 1)")
+        return cls(
+            stationary_probabilities=np.array([1.0 - bad_probability, bad_probability]),
+            loss_event_rates=np.array([good_loss_rate, bad_loss_rate]),
+        )
+
+
+def sampled_loss_event_rate(
+    model: CongestionModel, rate_profile: Sequence[float]
+) -> float:
+    """Evaluate equation (13): the loss-event rate seen by a source.
+
+    ``rate_profile[i]`` is the source's conditional time-average send rate
+    ``x_i`` in congestion state ``i``.
+    """
+    rates = np.asarray(rate_profile, dtype=float)
+    if rates.shape != model.loss_event_rates.shape:
+        raise ValueError("rate_profile must have one entry per congestion state")
+    if np.any(rates < 0.0) or np.all(rates == 0.0):
+        raise ValueError("rate_profile must be non-negative and not all zero")
+    weights = rates * model.stationary_probabilities
+    return float(np.dot(weights, model.loss_event_rates) / weights.sum())
+
+
+def poisson_source_rate_profile(model: CongestionModel, rate: float = 1.0) -> np.ndarray:
+    """Rate profile of a non-adaptive (Poisson / CBR) source: constant."""
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    return np.full(model.num_states, rate)
+
+
+def responsive_source_rate_profile(
+    model: CongestionModel, formula: LossThroughputFormula
+) -> np.ndarray:
+    """Rate profile of a fully responsive source (TCP-like).
+
+    The source tracks the congestion process perfectly: in state ``i`` its
+    time-average rate is ``f(p_i)``.
+    """
+    return np.asarray(formula.rate(model.loss_event_rates), dtype=float)
+
+
+def equation_based_rate_profile(
+    model: CongestionModel,
+    formula: LossThroughputFormula,
+    history_length: int,
+    reference_history: float = 1.0,
+) -> np.ndarray:
+    """Rate profile of an equation-based source with averaging window ``L``.
+
+    The moving-average estimator filters the per-state loss-event rate: the
+    effective loss-event rate the source acts on in state ``i`` is a convex
+    combination of the state's own rate and the long-run average, with a
+    smoothing weight that grows with ``L`` (an ``L``-interval moving average
+    retains roughly ``reference_history / (reference_history + L)`` of the
+    instantaneous state signal when the congestion process changes state on
+    the timescale of ``reference_history`` loss events).  ``L = 0`` recovers
+    the fully responsive profile, ``L -> infinity`` the non-adaptive one,
+    matching the responsiveness ordering of Claim 3.
+    """
+    if history_length < 0:
+        raise ValueError("history_length must be non-negative")
+    if reference_history <= 0.0:
+        raise ValueError("reference_history must be positive")
+    time_average = model.time_average_loss_rate()
+    tracking_weight = reference_history / (reference_history + float(history_length))
+    effective_rates = (
+        tracking_weight * model.loss_event_rates + (1.0 - tracking_weight) * time_average
+    )
+    return np.asarray(formula.rate(effective_rates), dtype=float)
+
+
+@dataclass(frozen=True)
+class Claim3Result:
+    """The three loss-event rates of Claim 3 for one congestion model."""
+
+    tcp_loss_rate: float
+    equation_based_loss_rate: float
+    poisson_loss_rate: float
+
+    @property
+    def ordering_holds(self) -> bool:
+        """Whether ``p' <= p <= p''`` (up to numerical slack)."""
+        slack = 1e-12
+        return (
+            self.tcp_loss_rate <= self.equation_based_loss_rate + slack
+            and self.equation_based_loss_rate <= self.poisson_loss_rate + slack
+        )
+
+
+def claim3_loss_event_rates(
+    model: CongestionModel,
+    formula: LossThroughputFormula,
+    history_length: int = 8,
+) -> Claim3Result:
+    """Compute ``p'`` (TCP), ``p`` (equation-based) and ``p''`` (Poisson)."""
+    tcp_rate = sampled_loss_event_rate(
+        model, responsive_source_rate_profile(model, formula)
+    )
+    ebrc_rate = sampled_loss_event_rate(
+        model, equation_based_rate_profile(model, formula, history_length)
+    )
+    poisson_rate = sampled_loss_event_rate(model, poisson_source_rate_profile(model))
+    return Claim3Result(
+        tcp_loss_rate=tcp_rate,
+        equation_based_loss_rate=ebrc_rate,
+        poisson_loss_rate=poisson_rate,
+    )
+
+
+def simulate_congestion_sampling(
+    model: CongestionModel,
+    rate_profile: Sequence[float],
+    mean_state_duration: float = 50.0,
+    num_transitions: int = 20_000,
+    seed: Optional[int] = None,
+) -> float:
+    """Validate equation (13) by simulating the sampling directly.
+
+    The congestion process visits states i.i.d. according to the stationary
+    distribution, holding each for an exponential time with the given mean
+    (in units of loss-event intervals of a unit-rate source).  The source
+    sends at ``rate_profile[i]`` in state ``i``; losses hit its packets at
+    rate ``p_i * rate_profile[i]`` per unit time.  The empirical loss-event
+    rate is losses over packets -- which converges to equation (13) when
+    the state durations are long (separation of timescales).
+    """
+    rates = np.asarray(rate_profile, dtype=float)
+    if rates.shape != model.loss_event_rates.shape:
+        raise ValueError("rate_profile must have one entry per congestion state")
+    if mean_state_duration <= 0.0:
+        raise ValueError("mean_state_duration must be positive")
+    if num_transitions < 1:
+        raise ValueError("num_transitions must be positive")
+    rng = np.random.default_rng(seed)
+    states = rng.choice(
+        model.num_states, size=num_transitions, p=model.stationary_probabilities
+    )
+    durations = rng.exponential(mean_state_duration, size=num_transitions)
+    packets = rates[states] * durations
+    losses = packets * model.loss_event_rates[states]
+    return float(losses.sum() / packets.sum())

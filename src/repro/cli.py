@@ -1,0 +1,211 @@
+"""Command-line interface for the reproduction experiments.
+
+Exposes the main experiments as sub-commands so that the figures can be
+regenerated without writing Python::
+
+    python -m repro.cli sweep --formula pftk-simplified --loss-rates 0.05 0.2 0.4
+    python -m repro.cli dumbbell --connections 2 --duration 120
+    python -m repro.cli claim3
+    python -m repro.cli claim4 --beta 0.5
+    python -m repro.cli audio --loss-probability 0.2
+
+Each sub-command prints a small table to standard output; the benchmark
+harness under ``benchmarks/`` remains the canonical way to regenerate every
+figure with its shape checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    CongestionModel,
+    claim3_loss_event_rates,
+    claim4_prediction,
+    loss_rate_ratio,
+    pair_breakdowns,
+    throughput_ratio,
+)
+from .core import SqrtFormula, make_formula
+from .montecarlo import sweep_loss_event_rate
+from .simulator import AudioSource, Simulator, ns2_config, run_dumbbell
+
+__all__ = ["build_parser", "main"]
+
+
+def _print_rows(header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for value, width in zip(row, widths):
+            if isinstance(value, float):
+                cells.append(f"{value:.4f}".ljust(width))
+            else:
+                cells.append(str(value).ljust(width))
+        print("  ".join(cells))
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    formula = make_formula(arguments.formula, rtt=arguments.rtt)
+    points = sweep_loss_event_rate(
+        formula,
+        loss_event_rates=tuple(arguments.loss_rates),
+        history_lengths=tuple(arguments.windows),
+        num_events=arguments.events,
+        seed=arguments.seed,
+    )
+    rows = [
+        [point.history_length, point.loss_event_rate, point.normalized_throughput]
+        for point in points
+    ]
+    print(f"Basic control, formula={arguments.formula}: normalized throughput")
+    _print_rows(["L", "p", "x_bar/f(p)"], rows)
+    return 0
+
+
+def _command_dumbbell(arguments: argparse.Namespace) -> int:
+    config = ns2_config(
+        num_connections=arguments.connections,
+        duration=arguments.duration,
+        history_length=arguments.window,
+        seed=arguments.seed,
+    )
+    result = run_dumbbell(config)
+    rows = []
+    for pair in pair_breakdowns(result):
+        breakdown = pair.breakdown
+        rows.append(
+            [
+                pair.tfrc.loss_event_rate,
+                breakdown.conservativeness_ratio,
+                breakdown.loss_rate_ratio,
+                breakdown.rtt_ratio,
+                breakdown.tcp_obedience_ratio,
+                breakdown.throughput_ratio,
+            ]
+        )
+    print(
+        f"Dumbbell: {config.num_tfrc} TFRC + {config.num_tcp} TCP over RED, "
+        f"{config.capacity_mbps} Mb/s, duration {config.duration:.0f} s"
+    )
+    _print_rows(
+        ["p (TFRC)", "x/f(p,r)", "p'/p", "r'/r", "x'/f(p',r')", "x/x'"], rows
+    )
+    print(f"scenario p'(TCP)/p(TFRC) = {loss_rate_ratio(result):.3f}, "
+          f"x(TFRC)/x'(TCP) = {throughput_ratio(result):.3f}")
+    return 0
+
+
+def _command_claim3(arguments: argparse.Namespace) -> int:
+    model = CongestionModel.two_state(
+        good_loss_rate=arguments.good_loss,
+        bad_loss_rate=arguments.bad_loss,
+        bad_probability=arguments.bad_probability,
+    )
+    formula = SqrtFormula(rtt=1.0)
+    rows = []
+    for window in arguments.windows:
+        result = claim3_loss_event_rates(model, formula, history_length=window)
+        rows.append(
+            [window, result.tcp_loss_rate, result.equation_based_loss_rate,
+             result.poisson_loss_rate]
+        )
+    print("Claim 3 (many-sources limit): loss-event rates by responsiveness")
+    _print_rows(["L", "p' (TCP)", "p (EBRC)", "p'' (Poisson)"], rows)
+    return 0
+
+
+def _command_claim4(arguments: argparse.Namespace) -> int:
+    prediction = claim4_prediction(
+        alpha=arguments.alpha, beta=arguments.beta, capacity=arguments.capacity
+    )
+    print("Claim 4 (few flows, fixed-capacity link)")
+    _print_rows(
+        ["p' (AIMD)", "p (EBRC)", "p'/p"],
+        [[prediction.aimd_loss_rate, prediction.equation_based_loss_rate,
+          prediction.ratio]],
+    )
+    return 0
+
+
+def _command_audio(arguments: argparse.Namespace) -> int:
+    formula = make_formula(arguments.formula, rtt=1.0)
+    simulator = Simulator(seed=arguments.seed)
+    source = AudioSource(
+        simulator,
+        loss_probability=arguments.loss_probability,
+        formula=formula,
+        history_length=arguments.window,
+        packet_period=arguments.packet_period,
+    )
+    simulator.run(until=arguments.duration)
+    print("Audio source through a Bernoulli dropper (Claim 2 / Figure 6)")
+    _print_rows(
+        ["formula", "p", "x_bar/f(p)"],
+        [[arguments.formula, arguments.loss_probability,
+          source.normalized_throughput()]],
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Equation-based rate control reproduction"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser("sweep", help="Figure 3-style sweep over p")
+    sweep.add_argument("--formula", default="pftk-simplified")
+    sweep.add_argument("--rtt", type=float, default=1.0)
+    sweep.add_argument("--loss-rates", type=float, nargs="+",
+                       default=[0.05, 0.2, 0.4])
+    sweep.add_argument("--windows", type=int, nargs="+", default=[2, 8])
+    sweep.add_argument("--events", type=int, default=20_000)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(handler=_command_sweep)
+
+    dumbbell = subparsers.add_parser("dumbbell",
+                                     help="packet-level dumbbell breakdown")
+    dumbbell.add_argument("--connections", type=int, default=2)
+    dumbbell.add_argument("--duration", type=float, default=120.0)
+    dumbbell.add_argument("--window", type=int, default=8)
+    dumbbell.add_argument("--seed", type=int, default=1)
+    dumbbell.set_defaults(handler=_command_dumbbell)
+
+    claim3 = subparsers.add_parser("claim3", help="many-sources loss-rate ordering")
+    claim3.add_argument("--good-loss", type=float, default=0.002)
+    claim3.add_argument("--bad-loss", type=float, default=0.08)
+    claim3.add_argument("--bad-probability", type=float, default=0.4)
+    claim3.add_argument("--windows", type=int, nargs="+", default=[2, 4, 8, 16])
+    claim3.set_defaults(handler=_command_claim3)
+
+    claim4 = subparsers.add_parser("claim4", help="few-flows loss-rate ratio")
+    claim4.add_argument("--alpha", type=float, default=1.0)
+    claim4.add_argument("--beta", type=float, default=0.5)
+    claim4.add_argument("--capacity", type=float, default=100.0)
+    claim4.set_defaults(handler=_command_claim4)
+
+    audio = subparsers.add_parser("audio", help="Claim 2 audio source experiment")
+    audio.add_argument("--formula", default="pftk-simplified")
+    audio.add_argument("--loss-probability", type=float, default=0.2)
+    audio.add_argument("--window", type=int, default=4)
+    audio.add_argument("--packet-period", type=float, default=0.002)
+    audio.add_argument("--duration", type=float, default=200.0)
+    audio.add_argument("--seed", type=int, default=1)
+    audio.set_defaults(handler=_command_audio)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to the sub-command."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console
+    raise SystemExit(main())

@@ -1,0 +1,268 @@
+"""Sufficient conditions for conservativeness (Theorems 1 and 2).
+
+The paper gives two sets of sufficient conditions under which the basic
+control is conservative (attains a throughput not larger than ``f(p)``)
+and one set under which it is strictly non-conservative:
+
+* **Theorem 1**: (F1) ``x -> 1/f(1/x)`` convex and (C1)
+  ``cov[theta_0, theta_hat_0] <= 0``  =>  conservative, with the explicit
+  throughput bound (10).
+* **Proposition 4**: if ``1/f(1/x)`` deviates from convexity by a ratio
+  ``r`` and (C1) holds, the overshoot is bounded by ``r``.
+* **Theorem 2**: (F2) ``f`` concave (equivalently ``x -> f(1/x)`` concave
+  in the interval domain) and (C2) ``cov[X_0, S_0] <= 0``  =>  conservative.
+  Conversely (F2c) strict convexity, (C2c) ``cov[X_0, S_0] >= 0`` and (V)
+  a non-degenerate estimator  =>  non-conservative.
+
+This module evaluates those conditions from empirical traces and from
+formula properties, and returns structured verdicts that the experiment
+code and the tests assert on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .control import ControlTrace
+from .convexity import analyze_formula_convexity
+from .formulas import LossThroughputFormula
+
+__all__ = [
+    "Verdict",
+    "ConditionReport",
+    "check_condition_c1",
+    "check_condition_c2",
+    "theorem1_bound",
+    "theorem1_verdict",
+    "theorem2_verdict",
+    "evaluate_conditions",
+]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a sufficient-condition check.
+
+    ``CONSERVATIVE`` / ``NON_CONSERVATIVE`` mean the corresponding theorem's
+    hypotheses hold and imply the stated behaviour; ``INCONCLUSIVE`` means
+    the hypotheses of neither direction are satisfied, so the theorem makes
+    no statement.
+    """
+
+    CONSERVATIVE = "conservative"
+    NON_CONSERVATIVE = "non-conservative"
+    INCONCLUSIVE = "inconclusive"
+
+
+def check_condition_c1(
+    intervals: Sequence[float],
+    estimates: Sequence[float],
+    tolerance: float = 0.0,
+) -> bool:
+    """Check (C1): ``cov[theta_0, theta_hat_0] <= tolerance``.
+
+    ``tolerance`` allows a small positive slack, reflecting the paper's
+    observation (equation (10)) that a small positive covariance cannot
+    produce significant non-conservativeness.
+    """
+    interval_array = np.asarray(intervals, dtype=float)
+    estimate_array = np.asarray(estimates, dtype=float)
+    if interval_array.size < 2:
+        return True
+    covariance = float(np.cov(interval_array, estimate_array, ddof=1)[0, 1])
+    return covariance <= tolerance
+
+
+def check_condition_c2(
+    rates: Sequence[float],
+    durations: Sequence[float],
+    tolerance: float = 0.0,
+) -> bool:
+    """Check (C2): ``cov[X_0, S_0] <= tolerance``."""
+    rate_array = np.asarray(rates, dtype=float)
+    duration_array = np.asarray(durations, dtype=float)
+    if rate_array.size < 2:
+        return True
+    covariance = float(np.cov(rate_array, duration_array, ddof=1)[0, 1])
+    return covariance <= tolerance
+
+
+def theorem1_bound(
+    formula: LossThroughputFormula,
+    loss_event_rate: float,
+    interval_estimate_covariance: float,
+) -> float:
+    """Return the throughput bound (10) of Theorem 1.
+
+    ``E[X(0)] <= f(p) / (1 + (f'(p) p / f(p)) cov[theta_0, theta_hat_0] p^2)``
+
+    valid when ``cov[theta_0, theta_hat_0] p^2 < -f(p) / (f'(p) p)``.
+
+    Raises
+    ------
+    ValueError
+        If the validity condition fails (the bound's denominator would be
+        non-positive).
+    """
+    if loss_event_rate <= 0.0 or loss_event_rate > 1.0:
+        raise ValueError("loss_event_rate must be in (0, 1]")
+    rate = float(formula.rate(loss_event_rate))
+    derivative = float(formula.rate_derivative(loss_event_rate))
+    normalized_covariance = interval_estimate_covariance * loss_event_rate**2
+    denominator = 1.0 + derivative * loss_event_rate / rate * normalized_covariance
+    if denominator <= 0.0:
+        raise ValueError(
+            "bound (10) is not applicable: cov[theta_0, theta_hat_0] p^2 is "
+            "too large relative to -f(p)/(f'(p) p)"
+        )
+    return rate / denominator
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Structured result of evaluating the paper's sufficient conditions.
+
+    Attributes
+    ----------
+    theorem1:
+        Verdict from Theorem 1 / Proposition 4.
+    theorem2:
+        Verdict from Theorem 2 (either direction).
+    condition_c1_holds, condition_c2_holds, condition_c2c_holds:
+        Raw covariance-condition outcomes.
+    g_is_convex, f_is_concave, f_is_convex:
+        Formula-property outcomes on the estimator's working range.
+    estimator_has_variance:
+        Condition (V): the estimator is not degenerate.
+    throughput_bound:
+        The bound (10) when applicable, otherwise ``None``.
+    measured_normalized_throughput:
+        The trace's ``x_bar / f(p)`` for reference.
+    """
+
+    theorem1: Verdict
+    theorem2: Verdict
+    condition_c1_holds: bool
+    condition_c2_holds: bool
+    condition_c2c_holds: bool
+    g_is_convex: bool
+    f_is_concave: bool
+    f_is_convex: bool
+    estimator_has_variance: bool
+    throughput_bound: Optional[float]
+    measured_normalized_throughput: float
+
+
+def theorem1_verdict(
+    g_is_convex: bool,
+    g_deviation_ratio: float,
+    condition_c1_holds: bool,
+    convexity_tolerance: float = 1.005,
+) -> Verdict:
+    """Return the Theorem 1 / Proposition 4 verdict.
+
+    ``g_deviation_ratio`` close to one (below ``convexity_tolerance``) is
+    treated as "convex for any practical purpose", per Proposition 4's
+    discussion of PFTK-standard (ratio about 1.0026 -- callers who want the
+    strict reading can lower the tolerance).
+    """
+    effectively_convex = g_is_convex or g_deviation_ratio <= convexity_tolerance
+    if effectively_convex and condition_c1_holds:
+        return Verdict.CONSERVATIVE
+    return Verdict.INCONCLUSIVE
+
+
+def theorem2_verdict(
+    f_is_concave: bool,
+    f_is_convex: bool,
+    condition_c2_holds: bool,
+    condition_c2c_holds: bool,
+    estimator_has_variance: bool,
+) -> Verdict:
+    """Return the Theorem 2 verdict (conservative, non-conservative, or
+    inconclusive)."""
+    if f_is_concave and condition_c2_holds:
+        return Verdict.CONSERVATIVE
+    if f_is_convex and condition_c2c_holds and estimator_has_variance:
+        return Verdict.NON_CONSERVATIVE
+    return Verdict.INCONCLUSIVE
+
+
+def evaluate_conditions(
+    formula: LossThroughputFormula,
+    trace: ControlTrace,
+    covariance_tolerance: Optional[float] = None,
+    variance_floor: float = 1e-9,
+) -> ConditionReport:
+    """Evaluate Theorems 1 and 2 on an empirical control trace.
+
+    The formula's convexity properties are analysed over the range of
+    estimator values actually visited by the trace, which is the region
+    Claims 1 and 2 talk about.
+
+    ``covariance_tolerance`` is the slack allowed when checking the
+    covariance conditions.  The default (None) uses 5 % of the product of
+    the standard deviations -- i.e. a sample correlation within +-0.05 is
+    treated as "slightly positively or negatively correlated", the wording
+    of Claim 1 -- so that finite-sample noise on a genuinely uncorrelated
+    trace does not flip the verdict.  Pass 0.0 for the strict reading.
+    """
+    estimates = trace.estimates
+    if covariance_tolerance is None:
+        covariance_tolerance = 0.05 * float(
+            np.std(trace.intervals) * np.std(trace.estimates)
+        )
+    lower = float(np.min(estimates))
+    upper = float(np.max(estimates))
+    if upper <= lower:
+        upper = lower * (1.0 + 1e-6) + 1e-6
+    convexity = analyze_formula_convexity(
+        formula, interval_lower=max(lower, 1e-6), interval_upper=upper
+    )
+
+    c1_holds = check_condition_c1(
+        trace.intervals, trace.estimates, tolerance=covariance_tolerance
+    )
+    rate_duration_cov = trace.rate_duration_covariance()
+    c2_holds = rate_duration_cov <= covariance_tolerance
+    c2c_holds = rate_duration_cov >= -covariance_tolerance
+    estimator_variance = float(np.var(estimates))
+    has_variance = estimator_variance > variance_floor
+
+    verdict1 = theorem1_verdict(
+        convexity.g_is_convex, convexity.g_deviation_ratio, c1_holds
+    )
+    verdict2 = theorem2_verdict(
+        convexity.f_of_inverse_is_concave,
+        convexity.f_of_inverse_is_convex,
+        c2_holds,
+        c2c_holds,
+        has_variance,
+    )
+
+    bound: Optional[float] = None
+    try:
+        bound = theorem1_bound(
+            formula,
+            trace.loss_event_rate,
+            trace.interval_estimate_covariance(),
+        )
+    except ValueError:
+        bound = None
+
+    return ConditionReport(
+        theorem1=verdict1,
+        theorem2=verdict2,
+        condition_c1_holds=c1_holds,
+        condition_c2_holds=c2_holds,
+        condition_c2c_holds=c2c_holds,
+        g_is_convex=convexity.g_is_convex,
+        f_is_concave=convexity.f_of_inverse_is_concave,
+        f_is_convex=convexity.f_of_inverse_is_convex,
+        estimator_has_variance=has_variance,
+        throughput_bound=bound,
+        measured_normalized_throughput=trace.normalized_throughput(formula),
+    )

@@ -1,0 +1,192 @@
+"""Convexity diagnostics: convex closure and deviation-from-convexity ratio.
+
+Theorem 1 requires ``g(x) = 1/f(1/x)`` to be convex (condition (F1)); the
+PFTK-standard formula violates this slightly because of its ``min`` term.
+Proposition 4 bounds the possible overshoot by the *deviation-from-convexity
+ratio*::
+
+    r = sup_x  g(x) / g**(x)
+
+where ``g**`` is the convex closure (biconjugate) of ``g`` -- the largest
+convex function below ``g``.  The paper reports ``r ~= 1.0026`` for
+PFTK-standard with ``r = 1`` and ``q = 4r`` (Figure 2).
+
+This module computes the convex closure of a sampled function with a lower
+convex hull (equivalent to the biconjugate on the sampled grid), the
+deviation ratio, and local convexity/concavity verdicts used by the
+condition checks of Theorems 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .formulas import LossThroughputFormula
+
+__all__ = [
+    "convex_closure",
+    "deviation_from_convexity",
+    "ConvexityReport",
+    "analyze_formula_convexity",
+    "is_convex_on_grid",
+    "is_concave_on_grid",
+]
+
+
+def _lower_convex_hull(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Return the lower convex hull of the points ``(x_i, y_i)``.
+
+    The points must be sorted by ``x``.  The result is the hull evaluated
+    at every ``x_i`` (linear interpolation between hull vertices), which on
+    a fine grid converges to the convex closure ``g**``.
+    """
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ValueError("need at least two sorted sample points")
+    if np.any(np.diff(x) <= 0.0):
+        raise ValueError("x must be strictly increasing")
+    # Andrew's monotone chain, lower hull only.
+    hull_indices = []
+    for index in range(x.size):
+        while len(hull_indices) >= 2:
+            i, j = hull_indices[-2], hull_indices[-1]
+            # Cross product of (P_j - P_i) x (P_k - P_i); pop if not a
+            # right turn (i.e. the middle point is above the chord).
+            cross = (x[j] - x[i]) * (y[index] - y[i]) - (y[j] - y[i]) * (
+                x[index] - x[i]
+            )
+            if cross <= 0.0:
+                hull_indices.pop()
+            else:
+                break
+        hull_indices.append(index)
+    hull_x = x[hull_indices]
+    hull_y = y[hull_indices]
+    return np.interp(x, hull_x, hull_y)
+
+
+def convex_closure(
+    function: Callable[[np.ndarray], np.ndarray],
+    lower: float,
+    upper: float,
+    num_points: int = 4096,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``function`` on ``[lower, upper]`` and compute its convex closure.
+
+    Returns
+    -------
+    grid, values, closure:
+        The sample grid, the function values, and the convex closure values
+        on the same grid.
+    """
+    if not lower < upper:
+        raise ValueError("lower must be strictly less than upper")
+    if num_points < 8:
+        raise ValueError("num_points must be at least 8")
+    grid = np.linspace(lower, upper, int(num_points))
+    values = np.asarray(function(grid), dtype=float)
+    if values.shape != grid.shape:
+        raise ValueError("function must return an array matching the grid shape")
+    closure = _lower_convex_hull(grid, values)
+    return grid, values, closure
+
+
+def deviation_from_convexity(
+    function: Callable[[np.ndarray], np.ndarray],
+    lower: float,
+    upper: float,
+    num_points: int = 4096,
+) -> float:
+    """Return ``r = sup_x g(x)/g**(x)`` on the sampled interval.
+
+    For a convex function the result is 1 (up to numerical precision); for
+    PFTK-standard's ``g`` on the region around the ``min`` kink the paper
+    reports about 1.0026.
+    """
+    _, values, closure = convex_closure(function, lower, upper, num_points)
+    positive = closure > 0.0
+    if not np.any(positive):
+        raise ValueError("convex closure is non-positive everywhere on the grid")
+    return float(np.max(values[positive] / closure[positive]))
+
+
+def is_convex_on_grid(values: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Return True if a uniformly sampled function is convex (second
+    differences non-negative up to ``tolerance`` relative to the scale)."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 3:
+        return True
+    second = values[2:] - 2.0 * values[1:-1] + values[:-2]
+    scale = max(float(np.max(np.abs(values))), 1.0)
+    return bool(np.all(second >= -tolerance * scale))
+
+
+def is_concave_on_grid(values: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """Return True if a uniformly sampled function is concave."""
+    return is_convex_on_grid(-np.asarray(values, dtype=float), tolerance=tolerance)
+
+
+@dataclass(frozen=True)
+class ConvexityReport:
+    """Convexity verdicts for a loss-throughput formula on an interval range.
+
+    Attributes
+    ----------
+    g_is_convex:
+        Whether ``x -> 1/f(1/x)`` is convex on the range (condition (F1)).
+    g_deviation_ratio:
+        The deviation-from-convexity ratio ``r`` of ``1/f(1/x)``
+        (Proposition 4; equals 1 when ``g`` is convex).
+    f_of_inverse_is_concave:
+        Whether ``x -> f(1/x)`` is concave on the range (condition (F2),
+        expressed in the interval domain).
+    f_of_inverse_is_convex:
+        Whether ``x -> f(1/x)`` is strictly convex on the range (condition
+        (F2c) in the interval domain).
+    interval_range:
+        The ``(lower, upper)`` range of loss-event intervals analysed.
+    """
+
+    g_is_convex: bool
+    g_deviation_ratio: float
+    f_of_inverse_is_concave: bool
+    f_of_inverse_is_convex: bool
+    interval_range: Tuple[float, float]
+
+
+def analyze_formula_convexity(
+    formula: LossThroughputFormula,
+    interval_lower: float = 1.0,
+    interval_upper: float = 1000.0,
+    num_points: int = 4096,
+) -> ConvexityReport:
+    """Analyse the convexity properties of a formula over an interval range.
+
+    Parameters
+    ----------
+    formula:
+        The loss-throughput formula to analyse.
+    interval_lower, interval_upper:
+        Range of loss-event intervals ``x`` (in packets); small ``x``
+        corresponds to heavy loss.
+    num_points:
+        Grid resolution.
+    """
+    if interval_lower <= 0.0 or interval_upper <= interval_lower:
+        raise ValueError("need 0 < interval_lower < interval_upper")
+    grid = np.linspace(interval_lower, interval_upper, int(num_points))
+    g_values = np.asarray(formula.g(grid), dtype=float)
+    f_values = np.asarray(formula.rate_of_interval(grid), dtype=float)
+    g_convex = is_convex_on_grid(g_values)
+    ratio = deviation_from_convexity(
+        formula.g, interval_lower, interval_upper, num_points=int(num_points)
+    )
+    return ConvexityReport(
+        g_is_convex=g_convex,
+        g_deviation_ratio=ratio,
+        f_of_inverse_is_concave=is_concave_on_grid(f_values),
+        f_of_inverse_is_convex=is_convex_on_grid(f_values) and not is_concave_on_grid(f_values),
+        interval_range=(float(interval_lower), float(interval_upper)),
+    )

@@ -1,0 +1,437 @@
+"""Loss-throughput formulas used by equation-based rate control.
+
+This module implements the three TCP throughput formulas studied in the
+paper (Section II-C):
+
+* :class:`SqrtFormula` -- the "square-root" formula of Mathis et al.,
+  equation (5) in the paper::
+
+      f(p) = 1 / (c1 * r * sqrt(p))
+
+* :class:`PftkStandardFormula` -- the PFTK formula of Padhye et al.
+  (equation (30) in PFTK, equation (6) in the paper)::
+
+      f(p) = 1 / (c1 * r * sqrt(p) + q * min(1, c2 * sqrt(p)) * (p + 32 p^3))
+
+* :class:`PftkSimplifiedFormula` -- the simplified PFTK formula recommended
+  by the TFRC standard (equation (7) in the paper)::
+
+      f(p) = 1 / (c1 * r * sqrt(p) + q * c2 * (p^(3/2) + 32 p^(7/2)))
+
+plus the AIMD loss-throughput formula used in the Claim 4 analysis::
+
+      f(p) = sqrt(alpha (1 + beta) / (2 (1 - beta))) / sqrt(p)
+
+All formulas expose a common interface (:class:`LossThroughputFormula`),
+accept scalar or :mod:`numpy` array arguments, and provide the auxiliary
+mappings used throughout the analysis:
+
+* ``rate(p)``                 -- ``f(p)``, packets per second,
+* ``rate_of_interval(x)``     -- ``f(1/x)`` where ``x`` is a loss-event
+  interval in packets (the quantity the sender actually plugs in),
+* ``g(x) = 1 / f(1/x)``       -- the functional whose convexity governs
+  conservativeness (Theorem 1),
+* first and second derivatives of ``f`` and ``g`` (used by the bound (10)
+  and by the convexity diagnostics in :mod:`repro.core.convexity`).
+
+Constants follow the paper: ``c1 = sqrt(2 b / 3)`` and
+``c2 = (3 / 2) * sqrt(3 b / 2)`` with ``b`` the number of packets covered by
+one acknowledgment (``b = 2`` by default, as in practice).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "LossThroughputFormula",
+    "SqrtFormula",
+    "PftkStandardFormula",
+    "PftkSimplifiedFormula",
+    "AimdFormula",
+    "default_c1",
+    "default_c2",
+    "make_formula",
+]
+
+
+def default_c1(b: int = 2) -> float:
+    """Return the constant ``c1 = sqrt(2 b / 3)`` of the paper.
+
+    Parameters
+    ----------
+    b:
+        Number of packets acknowledged by a single acknowledgment
+        (``b = 2`` with delayed acks, the practical default).
+    """
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    return math.sqrt(2.0 * b / 3.0)
+
+
+def default_c2(b: int = 2) -> float:
+    """Return the constant ``c2 = (3/2) * sqrt(3 b / 2)`` of the paper."""
+    if b <= 0:
+        raise ValueError(f"b must be positive, got {b}")
+    return 1.5 * math.sqrt(3.0 * b / 2.0)
+
+
+def _as_array(p: ArrayLike) -> np.ndarray:
+    arr = np.asarray(p, dtype=float)
+    return arr
+
+
+def _validate_loss_rate(p: np.ndarray) -> None:
+    # The argument is allowed to exceed 1: the controls evaluate f at
+    # 1/theta_hat, and the estimator can transiently fall below one packet
+    # under heavy loss.  Only non-positive values are rejected.
+    if np.any(p <= 0.0):
+        raise ValueError("loss-event rate p must be strictly positive")
+
+
+class LossThroughputFormula(abc.ABC):
+    """Abstract base class for loss-throughput formulas ``p -> f(p)``.
+
+    A formula maps a loss-event rate ``p in (0, 1]`` to a send rate in
+    packets per second.  In the paper's notation the round-trip time is
+    folded into the formula (``r`` is assumed fixed to its mean in the
+    analysis), so instances carry their own ``rtt``.
+    """
+
+    #: Mean round-trip time in seconds folded into the formula.
+    rtt: float
+
+    # ------------------------------------------------------------------
+    # Primary mapping
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        """Return ``f(p)`` in packets per second for loss-event rate ``p``."""
+
+    @abc.abstractmethod
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        """Return ``f'(p)``, the derivative of the rate w.r.t. ``p``."""
+
+    # ------------------------------------------------------------------
+    # Derived mappings used by the analysis
+    # ------------------------------------------------------------------
+    def __call__(self, p: ArrayLike) -> ArrayLike:
+        return self.rate(p)
+
+    def rate_of_interval(self, x: ArrayLike) -> ArrayLike:
+        """Return ``f(1/x)`` where ``x`` is a loss-event interval in packets.
+
+        This is the quantity the sender computes when it plugs the
+        loss-event interval estimator ``theta_hat`` into the formula.
+        """
+        x_arr = _as_array(x)
+        if np.any(x_arr <= 0.0):
+            raise ValueError("loss-event interval x must be strictly positive")
+        result = self.rate(1.0 / x_arr)
+        return result if isinstance(x, np.ndarray) else float(result)
+
+    def g(self, x: ArrayLike) -> ArrayLike:
+        """Return ``g(x) = 1 / f(1/x)``.
+
+        The convexity of ``g`` is condition (F1) of Theorem 1; ``g(x)`` has
+        the interpretation of the expected inter-loss-event *time* when the
+        loss-event interval is ``x`` packets.
+        """
+        x_arr = _as_array(x)
+        if np.any(x_arr <= 0.0):
+            raise ValueError("loss-event interval x must be strictly positive")
+        result = 1.0 / self.rate(1.0 / x_arr)
+        return result if isinstance(x, np.ndarray) else float(result)
+
+    def g_second_derivative(self, x: ArrayLike, step: float = 1e-4) -> ArrayLike:
+        """Numerically estimate ``g''(x)`` with a central difference.
+
+        A positive value indicates local convexity of ``g`` at ``x``
+        (condition (F1)).
+        """
+        x_arr = _as_array(x)
+        h = np.maximum(step * np.abs(x_arr), 1e-8)
+        second = (self.g(x_arr + h) - 2.0 * self.g(x_arr) + self.g(x_arr - h)) / h**2
+        return second if isinstance(x, np.ndarray) else float(second)
+
+    def rate_second_derivative(self, p: ArrayLike, step: float = 1e-6) -> ArrayLike:
+        """Numerically estimate ``f''(p)`` with a central difference.
+
+        A negative value indicates local concavity of ``f`` at ``p``
+        (condition (F2)); a positive value indicates strict convexity (F2c).
+        """
+        p_arr = _as_array(p)
+        h = np.maximum(step * np.abs(p_arr), 1e-10)
+        second = (
+            self.rate(p_arr + h) - 2.0 * self.rate(p_arr) + self.rate(p_arr - h)
+        ) / h**2
+        return second if isinstance(p, np.ndarray) else float(second)
+
+    # ------------------------------------------------------------------
+    # Inversion
+    # ------------------------------------------------------------------
+    def loss_rate_for_rate(
+        self,
+        target_rate: float,
+        lower: float = 1e-12,
+        upper: float = 1.0,
+        tolerance: float = 1e-12,
+        max_iterations: int = 200,
+    ) -> float:
+        """Invert the formula: find ``p`` such that ``f(p) = target_rate``.
+
+        All the formulas in this module are strictly decreasing in ``p``, so
+        a bisection on ``(lower, upper]`` converges.  Used e.g. by the fixed
+        capacity analysis of Claim 4.
+        """
+        if target_rate <= 0.0:
+            raise ValueError("target_rate must be positive")
+        low, high = lower, upper
+        rate_low = float(self.rate(low))
+        rate_high = float(self.rate(high))
+        if target_rate > rate_low:
+            raise ValueError(
+                f"target_rate {target_rate} exceeds the formula's maximum "
+                f"{rate_low} on the search interval"
+            )
+        if target_rate < rate_high:
+            return upper
+        for _ in range(max_iterations):
+            mid = 0.5 * (low + high)
+            rate_mid = float(self.rate(mid))
+            if abs(rate_mid - target_rate) <= tolerance * target_rate:
+                return mid
+            if rate_mid > target_rate:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+
+@dataclass(frozen=True)
+class SqrtFormula(LossThroughputFormula):
+    """The square-root loss-throughput formula (equation (5) of the paper).
+
+    ``f(p) = 1 / (c1 * r * sqrt(p))`` with ``c1 = sqrt(2 b / 3)``.
+
+    ``x -> 1/f(1/x)`` is convex (F1) and ``p -> f(p)`` is convex but
+    ``x -> f(1/x)`` is concave (F2) for every ``p``, so under the paper's
+    covariance conditions a SQRT-driven control is always conservative.
+    """
+
+    rtt: float = 1.0
+    b: int = 2
+    c1: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0.0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+        if self.c1 == 0.0:
+            object.__setattr__(self, "c1", default_c1(self.b))
+
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = 1.0 / (self.c1 * self.rtt * np.sqrt(p_arr))
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = -0.5 / (self.c1 * self.rtt * p_arr**1.5)
+        return result if isinstance(p, np.ndarray) else float(result)
+
+
+@dataclass(frozen=True)
+class PftkStandardFormula(LossThroughputFormula):
+    """The PFTK throughput formula (equation (6) of the paper).
+
+    ``f(p) = 1 / (c1 r sqrt(p) + q min(1, c2 sqrt(p)) (p + 32 p^3))``.
+
+    ``q`` is the TCP retransmission timeout; the TFRC recommendation is
+    ``q = 4 r`` which is the default here.  Because of the ``min`` term,
+    ``x -> 1/f(1/x)`` is *almost* convex: the deviation-from-convexity ratio
+    is about 1.0026 (Figure 2 / Proposition 4).
+    """
+
+    rtt: float = 1.0
+    rto: float = -1.0
+    b: int = 2
+    c1: float = field(default=0.0)
+    c2: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0.0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+        if self.rto <= 0.0:
+            object.__setattr__(self, "rto", 4.0 * self.rtt)
+        if self.c1 == 0.0:
+            object.__setattr__(self, "c1", default_c1(self.b))
+        if self.c2 == 0.0:
+            object.__setattr__(self, "c2", default_c2(self.b))
+
+    def _denominator(self, p: np.ndarray) -> np.ndarray:
+        sqrt_p = np.sqrt(p)
+        timeout_term = np.minimum(1.0, self.c2 * sqrt_p) * (p + 32.0 * p**3)
+        return self.c1 * self.rtt * sqrt_p + self.rto * timeout_term
+
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = 1.0 / self._denominator(p_arr)
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        sqrt_p = np.sqrt(p_arr)
+        poly = p_arr + 32.0 * p_arr**3
+        poly_prime = 1.0 + 96.0 * p_arr**2
+        min_term = np.minimum(1.0, self.c2 * sqrt_p)
+        # Derivative of the min term: c2 / (2 sqrt(p)) when c2 sqrt(p) < 1, else 0.
+        min_prime = np.where(self.c2 * sqrt_p < 1.0, 0.5 * self.c2 / sqrt_p, 0.0)
+        denom = self._denominator(p_arr)
+        denom_prime = (
+            0.5 * self.c1 * self.rtt / sqrt_p
+            + self.rto * (min_prime * poly + min_term * poly_prime)
+        )
+        result = -denom_prime / denom**2
+        return result if isinstance(p, np.ndarray) else float(result)
+
+
+@dataclass(frozen=True)
+class PftkSimplifiedFormula(LossThroughputFormula):
+    """The simplified PFTK formula recommended by TFRC (equation (7)).
+
+    ``f(p) = 1 / (c1 r sqrt(p) + q c2 (p^{3/2} + 32 p^{7/2}))``.
+
+    Compared to PFTK-standard, the ``min`` term is replaced by
+    ``c2 sqrt(p)``, which makes ``x -> 1/f(1/x)`` exactly convex (F1).
+    For ``p <= 1/c2**2`` the two formulas coincide; for larger ``p`` the
+    simplified formula is smaller.
+    """
+
+    rtt: float = 1.0
+    rto: float = -1.0
+    b: int = 2
+    c1: float = field(default=0.0)
+    c2: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0.0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+        if self.rto <= 0.0:
+            object.__setattr__(self, "rto", 4.0 * self.rtt)
+        if self.c1 == 0.0:
+            object.__setattr__(self, "c1", default_c1(self.b))
+        if self.c2 == 0.0:
+            object.__setattr__(self, "c2", default_c2(self.b))
+
+    def _denominator(self, p: np.ndarray) -> np.ndarray:
+        return self.c1 * self.rtt * np.sqrt(p) + self.rto * self.c2 * (
+            p**1.5 + 32.0 * p**3.5
+        )
+
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = 1.0 / self._denominator(p_arr)
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        denom = self._denominator(p_arr)
+        denom_prime = 0.5 * self.c1 * self.rtt / np.sqrt(p_arr) + self.rto * self.c2 * (
+            1.5 * np.sqrt(p_arr) + 112.0 * p_arr**2.5
+        )
+        result = -denom_prime / denom**2
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def g_closed_form_terms(self, x: ArrayLike) -> ArrayLike:
+        """Return ``g(x) = c1 r x^{-1/2}... `` evaluated termwise.
+
+        Provided as an explicit closed form used by Proposition 3's ``V_n``
+        term::
+
+            g(x) = c1 r sqrt(x) + q c2 / sqrt(x) + 32 q c2 / x^{7/2} * x^{?}
+
+        Concretely ``g(x) = 1/f(1/x) = c1 r x^{-1/2} ... `` -- we simply
+        evaluate ``1/f(1/x)`` but keep this method as the documented
+        closed-form entry point.
+        """
+        return self.g(x)
+
+
+@dataclass(frozen=True)
+class AimdFormula(LossThroughputFormula):
+    """Loss-throughput formula of an AIMD(alpha, beta) source.
+
+    ``f(p) = sqrt(alpha (1 + beta) / (2 (1 - beta))) / (r sqrt(p))``
+
+    Used by the Claim 4 analysis of a few senders competing for a
+    fixed-capacity bottleneck.  With ``alpha = 1`` and ``beta = 1/2`` and
+    ``r = 1`` this is the TCP-like setting of the paper.
+    """
+
+    alpha: float = 1.0
+    beta: float = 0.5
+    rtt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0.0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {self.beta}")
+        if self.rtt <= 0.0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+
+    @property
+    def constant(self) -> float:
+        """The constant ``sqrt(alpha (1 + beta) / (2 (1 - beta)))``."""
+        return math.sqrt(self.alpha * (1.0 + self.beta) / (2.0 * (1.0 - self.beta)))
+
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = self.constant / (self.rtt * np.sqrt(p_arr))
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = -0.5 * self.constant / (self.rtt * p_arr**1.5)
+        return result if isinstance(p, np.ndarray) else float(result)
+
+
+_FORMULA_REGISTRY = {
+    "sqrt": SqrtFormula,
+    "pftk-standard": PftkStandardFormula,
+    "pftk_standard": PftkStandardFormula,
+    "pftk-simplified": PftkSimplifiedFormula,
+    "pftk_simplified": PftkSimplifiedFormula,
+    "aimd": AimdFormula,
+}
+
+
+def make_formula(name: str, **kwargs) -> LossThroughputFormula:
+    """Construct a formula by name.
+
+    Accepted names: ``"sqrt"``, ``"pftk-standard"``, ``"pftk-simplified"``,
+    ``"aimd"`` (underscores also accepted).  Keyword arguments are forwarded
+    to the corresponding constructor (``rtt``, ``rto``, ``b``, ...).
+    """
+    key = name.strip().lower()
+    if key not in _FORMULA_REGISTRY:
+        raise KeyError(
+            f"unknown formula {name!r}; valid names are "
+            f"{sorted(set(_FORMULA_REGISTRY))}"
+        )
+    return _FORMULA_REGISTRY[key](**kwargs)

@@ -1,0 +1,190 @@
+"""TCP-friendliness breakdown into the paper's four sub-conditions.
+
+Section I-A and the conclusion argue that TCP-friendliness (the non-TCP
+source's throughput not exceeding a competing TCP's) should not be judged
+by directly comparing throughputs; it should be broken down into four
+sub-conditions whose conjunction implies it:
+
+1. **Conservativeness** -- ``x_bar <= f(p, r)`` where ``p``, ``r`` are the
+   loss-event rate and average round-trip time *seen by the source*.
+2. **Loss-event rate ordering** -- ``p >= p'`` (the source does not see a
+   smaller loss-event rate than TCP).
+3. **RTT ordering** -- ``r >= r'``.
+4. **TCP obedience** -- the competing TCP achieves at least
+   ``f(p', r')``.
+
+This module holds the measurement container for one flow
+(:class:`FlowObservation`), the per-sub-condition ratios plotted in
+Figures 12-15, 18 and 19 (:class:`FriendlinessBreakdown`), and the
+composition logic that reproduces the paper's argument that the
+conjunction of the four sub-conditions implies TCP-friendliness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .formulas import LossThroughputFormula
+
+__all__ = [
+    "FlowObservation",
+    "FriendlinessBreakdown",
+    "breakdown",
+    "is_tcp_friendly",
+]
+
+
+@dataclass(frozen=True)
+class FlowObservation:
+    """Long-run measurements of a single flow.
+
+    Attributes
+    ----------
+    throughput:
+        Long-run average send rate in packets per second (``x_bar``).
+    loss_event_rate:
+        Loss-event rate seen by the flow (``p``), loss events per packet.
+    mean_rtt:
+        Average round-trip time in seconds (``r``).
+    label:
+        Optional human-readable identifier (e.g. ``"tfrc"``, ``"tcp"``).
+    """
+
+    throughput: float
+    loss_event_rate: float
+    mean_rtt: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.throughput < 0.0:
+            raise ValueError("throughput must be non-negative")
+        if not 0.0 < self.loss_event_rate <= 1.0:
+            raise ValueError("loss_event_rate must be in (0, 1]")
+        if self.mean_rtt <= 0.0:
+            raise ValueError("mean_rtt must be positive")
+
+    def formula_prediction(self, formula: LossThroughputFormula) -> float:
+        """Return ``f(p, r)`` for this flow.
+
+        The supplied formula instance carries a reference RTT; the
+        prediction is rescaled to this flow's measured RTT because the
+        formulas in this package are all inversely proportional to ``r``.
+        """
+        base = float(formula.rate(self.loss_event_rate))
+        return base * formula.rtt / self.mean_rtt
+
+
+@dataclass(frozen=True)
+class FriendlinessBreakdown:
+    """The four sub-condition ratios of the TCP-friendliness breakdown.
+
+    Each ratio is oriented so that a value **not larger than one** means the
+    corresponding sub-condition *supports* TCP-friendliness, matching the
+    orientation of the panels in Figures 12-15 (where the plotted quantity
+    per panel is, left to right: ``x_bar / f(p, r)``, ``p' / p``,
+    ``r' / r``, and ``x_bar' / f(p', r')`` -- the last one plotted so that
+    values *at least* one support friendliness; we store its reciprocal
+    orientation flag separately for clarity).
+
+    Attributes
+    ----------
+    conservativeness_ratio:
+        ``x_bar / f(p, r)`` for the equation-based flow (<= 1 supports).
+    loss_rate_ratio:
+        ``p' / p`` (TCP's loss-event rate over the source's; <= 1 supports).
+    rtt_ratio:
+        ``r' / r`` (<= 1 supports).
+    tcp_obedience_ratio:
+        ``x_bar' / f(p', r')`` for the TCP flow (>= 1 supports).
+    throughput_ratio:
+        ``x_bar / x_bar'`` -- the direct comparison the paper warns against
+        using in isolation (<= 1 means TCP-friendly in the raw sense).
+    """
+
+    conservativeness_ratio: float
+    loss_rate_ratio: float
+    rtt_ratio: float
+    tcp_obedience_ratio: float
+    throughput_ratio: float
+
+    @property
+    def conservative(self) -> bool:
+        """Sub-condition 1 holds."""
+        return self.conservativeness_ratio <= 1.0
+
+    @property
+    def loss_rate_ordered(self) -> bool:
+        """Sub-condition 2 holds (source sees at least TCP's loss rate)."""
+        return self.loss_rate_ratio <= 1.0
+
+    @property
+    def rtt_ordered(self) -> bool:
+        """Sub-condition 3 holds."""
+        return self.rtt_ratio <= 1.0
+
+    @property
+    def tcp_obeys_formula(self) -> bool:
+        """Sub-condition 4 holds."""
+        return self.tcp_obedience_ratio >= 1.0
+
+    @property
+    def all_subconditions_hold(self) -> bool:
+        """Whether the conjunction of the four sub-conditions holds."""
+        return (
+            self.conservative
+            and self.loss_rate_ordered
+            and self.rtt_ordered
+            and self.tcp_obeys_formula
+        )
+
+    @property
+    def tcp_friendly(self) -> bool:
+        """Direct throughput comparison: ``x_bar <= x_bar'``."""
+        return self.throughput_ratio <= 1.0
+
+
+def breakdown(
+    source: FlowObservation,
+    tcp: FlowObservation,
+    formula: LossThroughputFormula,
+) -> FriendlinessBreakdown:
+    """Compute the TCP-friendliness breakdown for one (source, TCP) pair.
+
+    Parameters
+    ----------
+    source:
+        Measurements of the equation-based rate controlled flow.
+    tcp:
+        Measurements of the competing TCP flow.
+    formula:
+        The loss-throughput formula the source uses (e.g. PFTK-standard).
+    """
+    source_prediction = source.formula_prediction(formula)
+    tcp_prediction = tcp.formula_prediction(formula)
+    if source_prediction <= 0.0 or tcp_prediction <= 0.0:
+        raise ValueError("formula predictions must be positive")
+    if tcp.throughput <= 0.0:
+        raise ValueError("TCP throughput must be positive to form ratios")
+    return FriendlinessBreakdown(
+        conservativeness_ratio=source.throughput / source_prediction,
+        loss_rate_ratio=tcp.loss_event_rate / source.loss_event_rate,
+        rtt_ratio=tcp.mean_rtt / source.mean_rtt,
+        tcp_obedience_ratio=tcp.throughput / tcp_prediction,
+        throughput_ratio=source.throughput / tcp.throughput,
+    )
+
+
+def is_tcp_friendly(
+    source: FlowObservation,
+    tcp: FlowObservation,
+    slack: float = 0.0,
+) -> bool:
+    """Direct TCP-friendliness check: ``x_bar <= (1 + slack) x_bar'``.
+
+    ``slack`` expresses a tolerance (e.g. 0.1 for "within 10%"), which is
+    how empirical studies usually phrase the requirement.
+    """
+    if slack < 0.0:
+        raise ValueError("slack must be non-negative")
+    return source.throughput <= (1.0 + slack) * tcp.throughput

@@ -1,0 +1,163 @@
+"""Round-trip time estimators.
+
+The paper's analysis fixes the RTT to its mean value but its experiments
+rely on the estimators the real protocols use; this module collects them so
+the simulator, the measurement layer and downstream users share one
+implementation:
+
+* :class:`EwmaRttEstimator` -- the exponentially weighted moving average
+  used by TFRC (RFC 3448 recommends a weight of 0.9 on the old estimate);
+* :class:`JacobsonRttEstimator` -- the SRTT/RTTVAR filter of TCP, with the
+  retransmission timeout ``RTO = SRTT + 4 RTTVAR`` (floored);
+* :class:`EventAverageRtt` -- the *event average* of the round-trip time,
+  sampling once per round-trip "round", which is the quantity ``r`` that
+  enters the loss-throughput formulas in the paper (Section II-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["EwmaRttEstimator", "JacobsonRttEstimator", "EventAverageRtt"]
+
+
+class EwmaRttEstimator:
+    """TFRC-style exponentially weighted moving-average RTT estimator.
+
+    Parameters
+    ----------
+    weight:
+        Weight of the previous estimate (0.9 in the TFRC specification);
+        the new sample gets ``1 - weight``.
+    """
+
+    def __init__(self, weight: float = 0.9) -> None:
+        if not 0.0 <= weight < 1.0:
+            raise ValueError("weight must be in [0, 1)")
+        self.weight = float(weight)
+        self._estimate: Optional[float] = None
+        self.num_samples = 0
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """Current estimate in seconds, or None before the first sample."""
+        return self._estimate
+
+    def update(self, sample: float) -> float:
+        """Incorporate one RTT sample and return the new estimate."""
+        if sample <= 0.0:
+            raise ValueError("RTT sample must be positive")
+        if self._estimate is None:
+            self._estimate = float(sample)
+        else:
+            self._estimate = self.weight * self._estimate + (1.0 - self.weight) * sample
+        self.num_samples += 1
+        return self._estimate
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._estimate = None
+        self.num_samples = 0
+
+
+class JacobsonRttEstimator:
+    """TCP's SRTT/RTTVAR estimator with the standard RTO computation.
+
+    Parameters
+    ----------
+    alpha:
+        Gain of the SRTT filter (1/8 in RFC 6298).
+    beta:
+        Gain of the RTTVAR filter (1/4 in RFC 6298).
+    min_rto, max_rto:
+        Clamping bounds for the retransmission timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+    ) -> None:
+        if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
+            raise ValueError("alpha and beta must be in (0, 1)")
+        if not 0.0 < min_rto <= max_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.min_rto = float(min_rto)
+        self.max_rto = float(max_rto)
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.num_samples = 0
+
+    def update(self, sample: float) -> float:
+        """Incorporate one RTT sample and return the updated SRTT."""
+        if sample <= 0.0:
+            raise ValueError("RTT sample must be positive")
+        if self.srtt is None:
+            self.srtt = float(sample)
+            self.rttvar = float(sample) / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1.0 - self.beta) * self.rttvar + self.beta * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1.0 - self.alpha) * self.srtt + self.alpha * sample
+        self.num_samples += 1
+        return self.srtt
+
+    @property
+    def rto(self) -> float:
+        """Retransmission timeout: ``SRTT + 4 RTTVAR`` clamped to the bounds."""
+        if self.srtt is None or self.rttvar is None:
+            return self.min_rto * 5.0  # conservative initial RTO (1 s by default)
+        return float(np.clip(self.srtt + 4.0 * self.rttvar, self.min_rto, self.max_rto))
+
+
+class EventAverageRtt:
+    """Event-average RTT: one sample per round-trip round.
+
+    The formulas of Section II-C use ``r``, defined as the event average of
+    the round-trip time obtained by sampling once per round.  Feeding every
+    per-packet measurement would length-bias the average toward congested
+    periods (many packets per RTT when the window is large); this class
+    accepts per-packet samples tagged with their measurement time and keeps
+    only the first sample of each round.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._round_ends_at: float = -np.inf
+
+    def offer(self, sample: float, now: float) -> bool:
+        """Offer a per-packet RTT sample taken at time ``now``.
+
+        Returns True if the sample opened a new round and was kept.
+        """
+        if sample <= 0.0:
+            raise ValueError("RTT sample must be positive")
+        if now < self._round_ends_at:
+            return False
+        self._samples.append(float(sample))
+        self._round_ends_at = now + sample
+        return True
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds sampled so far."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Event-average RTT (0 when no round has been sampled)."""
+        if not self._samples:
+            return 0.0
+        return float(np.mean(self._samples))
+
+    def samples(self) -> np.ndarray:
+        """All per-round samples (copy)."""
+        return np.asarray(self._samples, dtype=float)

@@ -1,0 +1,246 @@
+"""Analytic throughput expressions (Propositions 1, 2 and 3).
+
+The paper expresses the long-run throughput of the controls in terms of
+Palm expectations of functions of the loss-event intervals:
+
+* **Proposition 1** (basic control)::
+
+      E[X(0)] = E[theta_0] / E[ theta_0 / f(1/theta_hat_0) ]
+
+* **Proposition 2** (comprehensive control, lower bound): the comprehensive
+  control's throughput is at least the right-hand side above.
+
+* **Proposition 3** (comprehensive control, SQRT / PFTK-simplified)::
+
+      E[X(0)] = E[theta_0] / ( E[ theta_0 / f(1/theta_hat_0) ]
+                               - E[ V_0 1{theta_hat_1 > theta_hat_0} ] )
+
+  with the closed-form correction term ``V_n`` given in the paper.
+
+This module evaluates these expressions from *samples* of the joint law of
+``(theta_0, theta_hat_0, theta_hat_1)``.  Samples may come from a
+:class:`~repro.core.control.ControlTrace`, from a Monte-Carlo draw of an
+i.i.d. loss model, or from measurement of a packet-level simulation.  The
+companion decomposition of Proposition 1's comment (the convexity term and
+the covariance term) is also provided because it is what Claim 1 reasons
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .control import ControlTrace
+from .formulas import (
+    LossThroughputFormula,
+    PftkSimplifiedFormula,
+    SqrtFormula,
+)
+
+__all__ = [
+    "ThroughputDecomposition",
+    "basic_control_throughput",
+    "comprehensive_control_lower_bound",
+    "comprehensive_control_throughput",
+    "proposition3_correction",
+    "decompose_throughput",
+    "throughput_from_trace",
+]
+
+
+def _validate_samples(intervals: np.ndarray, estimates: np.ndarray) -> None:
+    if intervals.shape != estimates.shape:
+        raise ValueError("intervals and estimates must have the same shape")
+    if intervals.ndim != 1 or intervals.size == 0:
+        raise ValueError("samples must be non-empty 1-D arrays")
+    if np.any(intervals <= 0.0) or np.any(estimates <= 0.0):
+        raise ValueError("intervals and estimates must be strictly positive")
+
+
+def basic_control_throughput(
+    formula: LossThroughputFormula,
+    intervals: Sequence[float],
+    estimates: Sequence[float],
+) -> float:
+    """Evaluate Proposition 1 from joint samples of ``(theta_0, theta_hat_0)``.
+
+    Parameters
+    ----------
+    formula:
+        The loss-throughput formula used by the control.
+    intervals:
+        Samples of the loss-event interval ``theta_0`` (packets).
+    estimates:
+        Matching samples of the estimator ``theta_hat_0`` in force during
+        the interval.
+    """
+    interval_array = np.asarray(intervals, dtype=float)
+    estimate_array = np.asarray(estimates, dtype=float)
+    _validate_samples(interval_array, estimate_array)
+    rates = np.asarray(formula.rate_of_interval(estimate_array), dtype=float)
+    mean_interval = float(np.mean(interval_array))
+    mean_duration = float(np.mean(interval_array / rates))
+    return mean_interval / mean_duration
+
+
+def comprehensive_control_lower_bound(
+    formula: LossThroughputFormula,
+    intervals: Sequence[float],
+    estimates: Sequence[float],
+) -> float:
+    """Proposition 2: the basic-control expression lower-bounds the
+    comprehensive control's throughput."""
+    return basic_control_throughput(formula, intervals, estimates)
+
+
+def proposition3_correction(
+    formula: LossThroughputFormula,
+    estimates_now: Sequence[float],
+    estimates_next: Sequence[float],
+    first_weight: float,
+) -> np.ndarray:
+    """Return the per-sample correction ``V_n 1{theta_hat_{n+1} > theta_hat_n}``.
+
+    ``V_n`` is defined in Proposition 3 for the SQRT (``c2 = 0``) and
+    PFTK-simplified formulas::
+
+        V_n = (1/w1) [ -2 c1 r (th_{n+1}^{1/2} - th_n^{1/2})
+                       + 2 c2 q (th_{n+1}^{-1/2} - th_n^{-1/2})
+                       + (64/5) c2 q (th_{n+1}^{-5/2} - th_n^{-5/2})
+                       + (th_{n+1} - th_n) / f(1/th_n) ]
+
+    Parameters
+    ----------
+    formula:
+        SQRT or PFTK-simplified formula.
+    estimates_now, estimates_next:
+        Samples of ``theta_hat_n`` and ``theta_hat_{n+1}``.
+    first_weight:
+        The estimator's first weight ``w_1``.
+    """
+    if not isinstance(formula, (SqrtFormula, PftkSimplifiedFormula)):
+        raise TypeError(
+            "Proposition 3 is stated for SQRT and PFTK-simplified formulas only"
+        )
+    if first_weight <= 0.0:
+        raise ValueError("first_weight must be positive")
+    now = np.asarray(estimates_now, dtype=float)
+    nxt = np.asarray(estimates_next, dtype=float)
+    _validate_samples(now, nxt)
+    c1r = formula.c1 * formula.rtt
+    c2q = formula.c2 * formula.rto if isinstance(formula, PftkSimplifiedFormula) else 0.0
+    rate_now = np.asarray(formula.rate_of_interval(now), dtype=float)
+    correction = (
+        -2.0 * c1r * (np.sqrt(nxt) - np.sqrt(now))
+        + 2.0 * c2q * (nxt**-0.5 - now**-0.5)
+        + (64.0 / 5.0) * c2q * (nxt**-2.5 - now**-2.5)
+        + (nxt - now) / rate_now
+    ) / first_weight
+    return np.where(nxt > now, correction, 0.0)
+
+
+def comprehensive_control_throughput(
+    formula: LossThroughputFormula,
+    intervals: Sequence[float],
+    estimates_now: Sequence[float],
+    estimates_next: Sequence[float],
+    first_weight: float,
+) -> float:
+    """Evaluate Proposition 3 from joint samples.
+
+    The sample arrays must be aligned: entry ``n`` holds ``theta_n``,
+    ``theta_hat_n`` and ``theta_hat_{n+1}``.
+    """
+    interval_array = np.asarray(intervals, dtype=float)
+    now = np.asarray(estimates_now, dtype=float)
+    _validate_samples(interval_array, now)
+    rates = np.asarray(formula.rate_of_interval(now), dtype=float)
+    corrections = proposition3_correction(
+        formula, estimates_now, estimates_next, first_weight
+    )
+    mean_interval = float(np.mean(interval_array))
+    mean_duration = float(np.mean(interval_array / rates - corrections))
+    if mean_duration <= 0.0:
+        raise ValueError(
+            "mean corrected duration is non-positive; the sample is too small "
+            "or inconsistent with Proposition 3's assumptions"
+        )
+    return mean_interval / mean_duration
+
+
+@dataclass(frozen=True)
+class ThroughputDecomposition:
+    """Decomposition of Proposition 1 used in the comment after it.
+
+    The basic-control throughput can be written as::
+
+        E[X(0)] = (1 / E[1/f(1/theta_hat_0)]) * 1 / (1 + correction)
+
+    where ``correction = cov[theta_0, 1/f(1/theta_hat_0)]
+    / (E[theta_0] E[1/f(1/theta_hat_0)])``.  The first factor captures the
+    convexity effect (via Jensen's inequality on ``1/f(1/x)``); the second
+    captures the covariance between the loss-event interval and the pacing
+    implied by the estimator.
+
+    Attributes
+    ----------
+    throughput:
+        The Proposition 1 throughput.
+    jensen_factor:
+        ``1 / E[1/f(1/theta_hat_0)]`` -- the harmonic-mean rate.
+    covariance_correction:
+        The normalised covariance term described above.
+    normalized_throughput:
+        ``throughput / f(p)`` where ``p = 1/E[theta_0]``.
+    loss_event_rate:
+        ``p = 1 / E[theta_0]``.
+    """
+
+    throughput: float
+    jensen_factor: float
+    covariance_correction: float
+    normalized_throughput: float
+    loss_event_rate: float
+
+
+def decompose_throughput(
+    formula: LossThroughputFormula,
+    intervals: Sequence[float],
+    estimates: Sequence[float],
+) -> ThroughputDecomposition:
+    """Compute the throughput decomposition of Proposition 1's comment."""
+    interval_array = np.asarray(intervals, dtype=float)
+    estimate_array = np.asarray(estimates, dtype=float)
+    _validate_samples(interval_array, estimate_array)
+    rates = np.asarray(formula.rate_of_interval(estimate_array), dtype=float)
+    inverse_rates = 1.0 / rates
+    mean_interval = float(np.mean(interval_array))
+    mean_inverse_rate = float(np.mean(inverse_rates))
+    # Biased (1/n) covariance so that E[a b] = E[a] E[b] + cov holds exactly
+    # on the sample and the decomposition reconstructs the throughput.
+    covariance = float(
+        np.mean(interval_array * inverse_rates) - mean_interval * mean_inverse_rate
+    )
+    correction = covariance / (mean_interval * mean_inverse_rate)
+    throughput = basic_control_throughput(formula, interval_array, estimate_array)
+    loss_event_rate = 1.0 / mean_interval
+    normalized = throughput / float(formula.rate(loss_event_rate))
+    return ThroughputDecomposition(
+        throughput=throughput,
+        jensen_factor=1.0 / mean_inverse_rate,
+        covariance_correction=correction,
+        normalized_throughput=normalized,
+        loss_event_rate=loss_event_rate,
+    )
+
+
+def throughput_from_trace(trace: ControlTrace) -> float:
+    """Return the empirical throughput of a control trace.
+
+    Equivalent to ``trace.throughput``; provided for discoverability next
+    to the analytic expressions.
+    """
+    return trace.throughput

@@ -1,0 +1,99 @@
+"""Base interface for loss-process models.
+
+A *loss process* in this package is a stochastic model that produces the
+sequence of loss-event intervals ``theta_n`` (packets sent by the source
+between two successive loss events) and, where meaningful, the real-time
+inter-loss durations ``S_n``.  The basic and comprehensive controls in
+:mod:`repro.core.control` are driven by these sequences; the Monte-Carlo
+experiments in :mod:`repro.montecarlo` sample them in bulk.
+
+The interface deliberately separates the two sampling modes the paper
+uses:
+
+* ``sample_intervals`` -- the packet-domain view (``theta_n`` directly),
+  used by the numerical experiments of Section V-A.1 and the Claim 1
+  validations;
+* ``sample_durations`` -- the time-domain view (``S_n``), used by the
+  Claim 2 setting in which losses occur independently of the send rate
+  (e.g. a Bernoulli dropper in front of an audio source).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LossProcess", "SeedLike", "make_rng"]
+
+SeedLike = Optional[int]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a numpy random generator from an optional integer seed.
+
+    Centralising generator construction keeps all stochastic components of
+    the package reproducible from a single integer.
+    """
+    return np.random.default_rng(seed)
+
+
+class LossProcess(abc.ABC):
+    """Abstract stationary-ergodic loss process.
+
+    Concrete subclasses model the joint law of the loss-event intervals
+    ``(theta_n)_n``.  They must be stationary so that long-run averages
+    computed by the controls converge (the paper's standing assumption).
+    """
+
+    @abc.abstractmethod
+    def sample_intervals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` consecutive loss-event intervals ``theta_n``.
+
+        The returned values are strictly positive floats (packet counts are
+        allowed to be fractional, as in the paper's fluid analysis).
+        """
+
+    @property
+    @abc.abstractmethod
+    def mean_interval(self) -> float:
+        """The Palm expectation ``E[theta_0] = 1/p``."""
+
+    @property
+    def loss_event_rate(self) -> float:
+        """The loss-event rate ``p = 1 / E[theta_0]``."""
+        mean = self.mean_interval
+        if mean <= 0.0:
+            raise ValueError("mean_interval must be positive")
+        return 1.0 / mean
+
+    def coefficient_of_variation(self) -> float:
+        """Coefficient of variation of ``theta_0`` when known analytically.
+
+        Subclasses with a closed form override this; the default estimates
+        it by simulation with a fixed internal seed, which is adequate for
+        diagnostics but not for exact assertions.
+        """
+        rng = make_rng(12345)
+        sample = self.sample_intervals(200_000, rng)
+        mean = float(np.mean(sample))
+        if mean <= 0.0:
+            raise ValueError("sampled intervals have non-positive mean")
+        return float(np.std(sample) / mean)
+
+    def sample_durations(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        send_rate: float = 1.0,
+    ) -> np.ndarray:
+        """Draw inter-loss durations ``S_n`` for a constant send rate.
+
+        The default implementation assumes losses are clocked by packets,
+        so ``S_n = theta_n / send_rate``.  Processes whose losses occur in
+        real time independently of the send rate override this.
+        """
+        if send_rate <= 0.0:
+            raise ValueError("send_rate must be positive")
+        return self.sample_intervals(count, rng) / send_rate

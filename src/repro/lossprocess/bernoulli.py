@@ -1,0 +1,101 @@
+"""Bernoulli per-packet dropper and the Claim 2 time-domain loss process.
+
+The Claim 2 validation (Figure 6) uses a sender that emits packets at a
+*fixed packet rate* (one packet every 20 ms in the ns-2 experiment) while
+adjusting its send rate by varying packet *lengths*.  Packets traverse a
+loss module that drops each packet independently with probability ``p``
+(a "Bernoulli dropper").  Two consequences matter for the analysis:
+
+* the loss-event interval ``theta_n`` (in packets) is geometric with mean
+  ``1/p`` regardless of the send rate, and
+* the inter-loss duration ``S_n`` is ``theta_n`` times the fixed packet
+  period, hence *independent of the send rate* ``X_n`` -- condition (C2c)
+  holds with equality, which is exactly the regime in which Theorem 2
+  predicts non-conservativeness for convex ``f(1/x)`` (PFTK with heavy
+  loss) and conservativeness for concave ``f(1/x)`` (SQRT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import LossProcess
+
+__all__ = ["BernoulliDropper", "GeometricIntervals"]
+
+
+@dataclass(frozen=True)
+class BernoulliDropper:
+    """Independent per-packet dropper with probability ``loss_probability``."""
+
+    loss_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in (0, 1), got {self.loss_probability}"
+            )
+
+    def sample_loss_indicators(
+        self, num_packets: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a boolean array with True where the packet is dropped."""
+        if num_packets <= 0:
+            raise ValueError("num_packets must be positive")
+        return rng.random(num_packets) < self.loss_probability
+
+    def drops(self, rng: np.random.Generator) -> bool:
+        """Decide the fate of a single packet."""
+        return bool(rng.random() < self.loss_probability)
+
+
+@dataclass(frozen=True)
+class GeometricIntervals(LossProcess):
+    """Loss-event intervals induced by a Bernoulli dropper.
+
+    ``theta_n`` is geometric on {1, 2, ...} with success probability
+    ``loss_probability``; its mean is ``1/p`` and its squared coefficient
+    of variation is ``1 - p``.
+    """
+
+    loss_probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in (0, 1), got {self.loss_probability}"
+            )
+
+    @property
+    def mean_interval(self) -> float:
+        return 1.0 / self.loss_probability
+
+    def coefficient_of_variation(self) -> float:
+        return float(np.sqrt(1.0 - self.loss_probability))
+
+    def sample_intervals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return rng.geometric(self.loss_probability, size=count).astype(float)
+
+    def sample_durations(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        send_rate: float = 1.0,
+        packet_period: float = 0.02,
+    ) -> np.ndarray:
+        """Return inter-loss durations for a *fixed packet clock* sender.
+
+        The durations are ``theta_n * packet_period`` and do not depend on
+        ``send_rate`` (the rate is varied through packet lengths), which is
+        what makes the covariance of ``X_n`` and ``S_n`` vanish in the
+        Claim 2 setting.  ``send_rate`` is accepted for interface
+        compatibility and ignored.
+        """
+        del send_rate  # Losses are clocked by packets, not bytes.
+        if packet_period <= 0.0:
+            raise ValueError("packet_period must be positive")
+        return self.sample_intervals(count, rng) * packet_period

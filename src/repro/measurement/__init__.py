@@ -1,0 +1,27 @@
+"""Measurement layer: from simulation traces to Palm-calculus estimands."""
+
+from .collectors import (
+    KindAggregate,
+    aggregate_kind,
+    flow_observation,
+    observations_from_result,
+    scenario_summaries,
+)
+from .lossevents import (
+    LossEventSummary,
+    estimator_trace_from_flow,
+    normalized_covariance_from_flow,
+    summarize_flow,
+)
+
+__all__ = [
+    "LossEventSummary",
+    "summarize_flow",
+    "estimator_trace_from_flow",
+    "normalized_covariance_from_flow",
+    "flow_observation",
+    "observations_from_result",
+    "KindAggregate",
+    "aggregate_kind",
+    "scenario_summaries",
+]

@@ -1,0 +1,117 @@
+"""Aggregation of per-flow measurements into experiment-level observations.
+
+Bridges the simulator's :class:`~repro.simulator.scenarios.DumbbellResult`
+and the core :class:`~repro.core.friendliness.FlowObservation` /
+:class:`~repro.core.friendliness.FriendlinessBreakdown` types, and provides
+the per-kind aggregates (mean loss-event rate of the TFRC flows, of the TCP
+flows, of the Poisson probes) that Figures 7, 8 and 17 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.formulas import LossThroughputFormula
+from ..core.friendliness import FlowObservation
+from ..simulator.flowstats import FlowStats
+from ..simulator.scenarios import DumbbellResult
+from .lossevents import LossEventSummary, summarize_flow
+
+__all__ = [
+    "flow_observation",
+    "observations_from_result",
+    "KindAggregate",
+    "aggregate_kind",
+    "scenario_summaries",
+]
+
+
+def flow_observation(
+    flow: FlowStats,
+    duration: float,
+    fallback_rtt: float,
+    label: Optional[str] = None,
+) -> FlowObservation:
+    """Convert a measured flow into a :class:`FlowObservation`.
+
+    ``fallback_rtt`` is used when the flow recorded no RTT samples (e.g. a
+    probe that lost all its packets in the measurement window), and the
+    loss-event rate falls back to a nominal small value when no loss event
+    was seen so that the observation remains constructible.
+    """
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    loss_event_rate = flow.loss_event_rate()
+    if loss_event_rate <= 0.0:
+        loss_event_rate = 1.0 / max(flow.packets_sent, 2)
+    loss_event_rate = min(loss_event_rate, 1.0)
+    mean_rtt = flow.mean_rtt()
+    if mean_rtt <= 0.0:
+        mean_rtt = fallback_rtt
+    return FlowObservation(
+        throughput=flow.throughput(duration),
+        loss_event_rate=loss_event_rate,
+        mean_rtt=mean_rtt,
+        label=label if label is not None else flow.label,
+    )
+
+
+def observations_from_result(result: DumbbellResult) -> List[FlowObservation]:
+    """Observations for every flow of a dumbbell run, TFRC flows first."""
+    fallback_rtt = result.config.rtt_seconds
+    return [
+        flow_observation(flow, result.measured_duration, fallback_rtt)
+        for flow in result.all_flows()
+    ]
+
+
+@dataclass(frozen=True)
+class KindAggregate:
+    """Average measurements over the flows of one kind in one scenario."""
+
+    label: str
+    num_flows: int
+    mean_loss_event_rate: float
+    mean_throughput: float
+    mean_rtt: float
+
+
+def aggregate_kind(
+    flows: Sequence[FlowStats], duration: float, label: str
+) -> KindAggregate:
+    """Average the per-flow measurements of a set of flows of one kind."""
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    if not flows:
+        return KindAggregate(label=label, num_flows=0, mean_loss_event_rate=0.0,
+                             mean_throughput=0.0, mean_rtt=0.0)
+    loss_rates = [flow.loss_event_rate() for flow in flows]
+    throughputs = [flow.throughput(duration) for flow in flows]
+    rtts = [flow.mean_rtt() for flow in flows if flow.mean_rtt() > 0.0]
+    return KindAggregate(
+        label=label,
+        num_flows=len(flows),
+        mean_loss_event_rate=float(np.mean(loss_rates)),
+        mean_throughput=float(np.mean(throughputs)),
+        mean_rtt=float(np.mean(rtts)) if rtts else 0.0,
+    )
+
+
+def scenario_summaries(
+    result: DumbbellResult,
+    formula: Optional[LossThroughputFormula] = None,
+    history_length: int = 8,
+) -> List[LossEventSummary]:
+    """Per-flow loss-event summaries for every flow of a dumbbell run."""
+    return [
+        summarize_flow(
+            flow,
+            result.measured_duration,
+            formula=formula,
+            history_length=history_length,
+        )
+        for flow in result.all_flows()
+    ]

@@ -1,0 +1,139 @@
+"""Loss-event analysis of measured flows.
+
+Turns the raw per-flow records produced by the simulator (loss-event
+interval sequences) into the Palm-calculus estimands the paper's figures
+plot: the loss-event rate ``p``, the moving-average estimator trace, the
+normalised covariance ``cov[theta_0, theta_hat_0] p^2`` of Figure 10, and
+the normalised throughput ``x_bar / f(p, r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.estimator import EstimatorTrace, estimate_series, tfrc_weights
+from ..core.formulas import LossThroughputFormula
+from ..simulator.flowstats import FlowStats
+
+__all__ = [
+    "LossEventSummary",
+    "summarize_flow",
+    "estimator_trace_from_flow",
+    "normalized_covariance_from_flow",
+]
+
+
+@dataclass(frozen=True)
+class LossEventSummary:
+    """Loss-event level summary of one measured flow.
+
+    Attributes
+    ----------
+    label:
+        Flow kind (``"tfrc"``, ``"tcp"``, ...).
+    num_loss_events:
+        Number of detected loss events in the measurement window.
+    loss_event_rate:
+        ``p = 1/E[theta_0]`` from the measured intervals.
+    mean_interval:
+        Mean loss-event interval in packets.
+    interval_cv:
+        Coefficient of variation of the intervals.
+    normalized_covariance:
+        ``cov[theta_0, theta_hat_0] p^2`` with the TFRC estimator replayed
+        over the measured intervals (the Figure 10 quantity); ``nan`` if
+        there are too few intervals.
+    mean_rtt:
+        Average measured round-trip time in seconds.
+    throughput:
+        Long-run throughput in packets per second.
+    normalized_throughput:
+        ``throughput / f(p, r)`` when a formula was supplied, else ``nan``.
+    """
+
+    label: str
+    num_loss_events: int
+    loss_event_rate: float
+    mean_interval: float
+    interval_cv: float
+    normalized_covariance: float
+    mean_rtt: float
+    throughput: float
+    normalized_throughput: float
+
+
+def estimator_trace_from_flow(
+    flow: FlowStats, history_length: int = 8
+) -> Optional[EstimatorTrace]:
+    """Replay the TFRC moving-average estimator over a flow's intervals.
+
+    Returns None when the flow observed too few complete loss-event
+    intervals for the estimator window.
+    """
+    intervals = flow.interval_array()
+    if intervals.size <= history_length + 1:
+        return None
+    return estimate_series(intervals, tfrc_weights(history_length))
+
+
+def normalized_covariance_from_flow(
+    flow: FlowStats, history_length: int = 8
+) -> float:
+    """``cov[theta_0, theta_hat_0] p^2`` for one flow (nan if unavailable)."""
+    trace = estimator_trace_from_flow(flow, history_length)
+    if trace is None:
+        return float("nan")
+    return trace.normalized_covariance()
+
+
+def summarize_flow(
+    flow: FlowStats,
+    duration: float,
+    formula: Optional[LossThroughputFormula] = None,
+    history_length: int = 8,
+) -> LossEventSummary:
+    """Build the loss-event summary of one flow.
+
+    Parameters
+    ----------
+    flow:
+        The flow's measurement record.
+    duration:
+        Measurement window length in seconds (for throughput).
+    formula:
+        If given, used to compute the normalised throughput
+        ``x_bar / f(p, r)`` at the flow's measured RTT.
+    history_length:
+        Estimator window used to replay the estimator for the covariance.
+    """
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    intervals = flow.interval_array()
+    loss_event_rate = flow.loss_event_rate()
+    mean_interval = float(np.mean(intervals)) if intervals.size else 0.0
+    interval_cv = (
+        float(np.std(intervals) / np.mean(intervals)) if intervals.size > 1 else 0.0
+    )
+    throughput = flow.throughput(duration)
+    mean_rtt = flow.mean_rtt()
+
+    normalized_throughput = float("nan")
+    if formula is not None and loss_event_rate > 0.0 and mean_rtt > 0.0:
+        prediction = float(formula.rate(loss_event_rate)) * formula.rtt / mean_rtt
+        if prediction > 0.0:
+            normalized_throughput = throughput / prediction
+
+    return LossEventSummary(
+        label=flow.label,
+        num_loss_events=len(flow.loss_event_times),
+        loss_event_rate=loss_event_rate,
+        mean_interval=mean_interval,
+        interval_cv=interval_cv,
+        normalized_covariance=normalized_covariance_from_flow(flow, history_length),
+        mean_rtt=mean_rtt,
+        throughput=throughput,
+        normalized_throughput=normalized_throughput,
+    )

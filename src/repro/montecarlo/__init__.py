@@ -1,0 +1,40 @@
+"""Numerical ("designed") experiments of the paper, Section V-A.1.
+
+Monte-Carlo and analytic evaluation of the basic and comprehensive
+controls under i.i.d. loss processes, plus the parameter sweeps that
+reproduce Figures 3 and 4.
+"""
+
+from .basic import BasicControlResult, analytic_basic_throughput, simulate_basic_control
+from .comprehensive import (
+    ComprehensiveControlResult,
+    analytic_comprehensive_throughput,
+    simulate_comprehensive_control,
+)
+from .sweeps import (
+    FIGURE3_CV,
+    FIGURE3_HISTORY_LENGTHS,
+    FIGURE3_LOSS_RATES,
+    FIGURE4_CVS,
+    SweepPoint,
+    sweep_coefficient_of_variation,
+    sweep_history_length,
+    sweep_loss_event_rate,
+)
+
+__all__ = [
+    "BasicControlResult",
+    "simulate_basic_control",
+    "analytic_basic_throughput",
+    "ComprehensiveControlResult",
+    "simulate_comprehensive_control",
+    "analytic_comprehensive_throughput",
+    "SweepPoint",
+    "sweep_loss_event_rate",
+    "sweep_coefficient_of_variation",
+    "sweep_history_length",
+    "FIGURE3_CV",
+    "FIGURE3_LOSS_RATES",
+    "FIGURE3_HISTORY_LENGTHS",
+    "FIGURE4_CVS",
+]

@@ -1,0 +1,175 @@
+"""Parameter sweeps for the numerical experiments (Figures 3 and 4).
+
+Figure 3 plots the normalized throughput ``x_bar / f(p)`` of the basic
+control against the loss-event rate ``p`` for estimator window lengths
+``L in {1, 2, 4, 8, 16}``, with the coefficient of variation of the
+loss-event intervals fixed to ``1 - 1/1000``; once for the SQRT formula
+and once for PFTK-simplified (``q = 4r``).
+
+Figure 4 fixes ``p`` (to 1/100 and 1/10) and sweeps the coefficient of
+variation, for PFTK-simplified.
+
+This module provides the sweep drivers returning structured rows that the
+benchmark harness prints and the tests assert qualitative properties on
+(monotonicity in ``p``, in ``cv``, and in ``L``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.formulas import LossThroughputFormula
+from ..lossprocess.iid import ShiftedExponentialIntervals
+from .basic import simulate_basic_control
+from .comprehensive import simulate_comprehensive_control
+
+__all__ = [
+    "SweepPoint",
+    "sweep_loss_event_rate",
+    "sweep_coefficient_of_variation",
+    "sweep_history_length",
+]
+
+#: The coefficient of variation used throughout Figure 3.
+FIGURE3_CV = 1.0 - 1.0 / 1000.0
+
+#: The loss-event rate grid of Figure 3 (0 excluded; up to 0.4).
+FIGURE3_LOSS_RATES: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4)
+
+#: The window lengths shown in Figures 3 and 4.
+FIGURE3_HISTORY_LENGTHS: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: The coefficient-of-variation grid of Figure 4.
+FIGURE4_CVS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: parameters plus the measured ratios."""
+
+    loss_event_rate: float
+    coefficient_of_variation: float
+    history_length: int
+    normalized_throughput: float
+    throughput: float
+    interval_estimate_covariance: float
+
+
+def _run_point(
+    formula: LossThroughputFormula,
+    loss_event_rate: float,
+    coefficient_of_variation: float,
+    history_length: int,
+    num_events: int,
+    seed: Optional[int],
+    comprehensive: bool,
+) -> SweepPoint:
+    process = ShiftedExponentialIntervals.from_loss_rate_and_cv(
+        loss_event_rate, coefficient_of_variation
+    )
+    runner = simulate_comprehensive_control if comprehensive else simulate_basic_control
+    result = runner(
+        formula,
+        process,
+        num_events=num_events,
+        history_length=history_length,
+        seed=seed,
+    )
+    return SweepPoint(
+        loss_event_rate=loss_event_rate,
+        coefficient_of_variation=coefficient_of_variation,
+        history_length=history_length,
+        normalized_throughput=result.normalized_throughput,
+        throughput=result.throughput,
+        interval_estimate_covariance=result.interval_estimate_covariance,
+    )
+
+
+def sweep_loss_event_rate(
+    formula: LossThroughputFormula,
+    loss_event_rates: Sequence[float] = FIGURE3_LOSS_RATES,
+    history_lengths: Sequence[int] = FIGURE3_HISTORY_LENGTHS,
+    coefficient_of_variation: float = FIGURE3_CV,
+    num_events: int = 40_000,
+    seed: Optional[int] = 7,
+    comprehensive: bool = False,
+) -> List[SweepPoint]:
+    """Figure 3 sweep: normalized throughput versus ``p`` for several ``L``.
+
+    Returns a flat list of :class:`SweepPoint`; group by ``history_length``
+    to recover the figure's curves.
+    """
+    points: List[SweepPoint] = []
+    for history_length in history_lengths:
+        for index, loss_event_rate in enumerate(loss_event_rates):
+            point_seed = None if seed is None else seed + 1000 * history_length + index
+            points.append(
+                _run_point(
+                    formula,
+                    loss_event_rate,
+                    coefficient_of_variation,
+                    history_length,
+                    num_events,
+                    point_seed,
+                    comprehensive,
+                )
+            )
+    return points
+
+
+def sweep_coefficient_of_variation(
+    formula: LossThroughputFormula,
+    loss_event_rate: float,
+    coefficients_of_variation: Sequence[float] = FIGURE4_CVS,
+    history_lengths: Sequence[int] = FIGURE3_HISTORY_LENGTHS,
+    num_events: int = 40_000,
+    seed: Optional[int] = 11,
+    comprehensive: bool = False,
+) -> List[SweepPoint]:
+    """Figure 4 sweep: normalized throughput versus ``cv[theta_0]``."""
+    points: List[SweepPoint] = []
+    for history_length in history_lengths:
+        for index, cv in enumerate(coefficients_of_variation):
+            point_seed = None if seed is None else seed + 1000 * history_length + index
+            points.append(
+                _run_point(
+                    formula,
+                    loss_event_rate,
+                    cv,
+                    history_length,
+                    num_events,
+                    point_seed,
+                    comprehensive,
+                )
+            )
+    return points
+
+
+def sweep_history_length(
+    formula: LossThroughputFormula,
+    loss_event_rate: float,
+    coefficient_of_variation: float,
+    history_lengths: Sequence[int] = FIGURE3_HISTORY_LENGTHS,
+    num_events: int = 40_000,
+    seed: Optional[int] = 13,
+    comprehensive: bool = False,
+) -> List[SweepPoint]:
+    """Ablation sweep over the estimator window length ``L`` only."""
+    points: List[SweepPoint] = []
+    for index, history_length in enumerate(history_lengths):
+        point_seed = None if seed is None else seed + index
+        points.append(
+            _run_point(
+                formula,
+                loss_event_rate,
+                coefficient_of_variation,
+                history_length,
+                num_events,
+                point_seed,
+                comprehensive,
+            )
+        )
+    return points

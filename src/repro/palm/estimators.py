@@ -1,0 +1,122 @@
+"""Palm-calculus estimators: event averages versus time averages.
+
+The paper's analysis lives in the framework of stationary point processes
+and Palm probabilities: the loss events form a point process with
+intensity ``lambda``; quantities like the send rate have both a
+*time-average* (the standard expectation ``E``, seen at an arbitrary point
+in time) and an *event-average* (the Palm expectation ``E0_N``, seen at an
+arbitrary loss event).  The Palm inversion formula connects the two::
+
+    E[X(0)] = lambda * E0_N[ integral_0^{T_1} X(s) ds ]
+
+and the Feller ("bus stop") paradox explains why the two averages differ
+when the sampled quantity is correlated with the interval length.
+
+This module provides empirical estimators for these quantities from
+per-event records ``(S_n, value_n)``:
+
+* :func:`event_average` -- plain average over events,
+* :func:`time_average_piecewise_constant` -- time average of a quantity
+  held constant within each interval (the basic control's rate),
+* :func:`palm_inversion_throughput` -- packets sent over time elapsed,
+* :func:`intensity` -- events per unit time,
+* :func:`length_biased_average` -- the average an observer arriving at a
+  uniformly random time would see, illustrating the Feller paradox.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "event_average",
+    "time_average_piecewise_constant",
+    "palm_inversion_throughput",
+    "intensity",
+    "length_biased_average",
+    "feller_gap",
+]
+
+
+def _validate_pair(durations: np.ndarray, values: np.ndarray) -> None:
+    if durations.shape != values.shape:
+        raise ValueError("durations and values must have the same shape")
+    if durations.ndim != 1 or durations.size == 0:
+        raise ValueError("inputs must be non-empty 1-D arrays")
+    if np.any(durations <= 0.0):
+        raise ValueError("durations must be strictly positive")
+
+
+def event_average(values: Sequence[float]) -> float:
+    """Return the Palm (event) average ``E0_N[value]``."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ValueError("values must be a non-empty 1-D sequence")
+    return float(np.mean(array))
+
+
+def time_average_piecewise_constant(
+    durations: Sequence[float], values: Sequence[float]
+) -> float:
+    """Return the time average of a piecewise-constant quantity.
+
+    ``values[n]`` is the value held on an interval of length
+    ``durations[n]``; the time average weighs each value by its interval
+    length (this is the standard expectation ``E`` for the basic control's
+    send rate).
+    """
+    duration_array = np.asarray(durations, dtype=float)
+    value_array = np.asarray(values, dtype=float)
+    _validate_pair(duration_array, value_array)
+    return float(np.average(value_array, weights=duration_array))
+
+
+def palm_inversion_throughput(
+    durations: Sequence[float], packets: Sequence[float]
+) -> float:
+    """Return throughput via the Palm inversion formula.
+
+    ``E[X(0)] = E0_N[packets per interval] / E0_N[interval duration]`` --
+    i.e. total packets over total time, the "cycle formula" the paper
+    builds Proposition 1 on.
+    """
+    duration_array = np.asarray(durations, dtype=float)
+    packet_array = np.asarray(packets, dtype=float)
+    _validate_pair(duration_array, packet_array)
+    return float(np.sum(packet_array) / np.sum(duration_array))
+
+
+def intensity(durations: Sequence[float]) -> float:
+    """Return the point-process intensity ``lambda`` (events per second)."""
+    duration_array = np.asarray(durations, dtype=float)
+    if duration_array.ndim != 1 or duration_array.size == 0:
+        raise ValueError("durations must be a non-empty 1-D sequence")
+    if np.any(duration_array <= 0.0):
+        raise ValueError("durations must be strictly positive")
+    return float(duration_array.size / np.sum(duration_array))
+
+
+def length_biased_average(
+    durations: Sequence[float], values: Sequence[float]
+) -> float:
+    """Average of ``values`` as seen by an observer at a random time.
+
+    The observer is more likely to land in a long interval, so the average
+    is length-biased: ``E[value at random time] = E0_N[S value] / E0_N[S]``.
+    Identical to :func:`time_average_piecewise_constant`; kept as a
+    separate name to make Feller-paradox arguments in the tests and
+    examples read like the paper.
+    """
+    return time_average_piecewise_constant(durations, values)
+
+
+def feller_gap(durations: Sequence[float], values: Sequence[float]) -> float:
+    """Return ``E0_N[value] - E[value at random time]``.
+
+    Positive when the value is negatively correlated with the interval
+    length (the random observer sees smaller values), which is exactly the
+    mechanism behind the first part of Theorem 2.
+    """
+    return event_average(values) - length_biased_average(durations, values)

@@ -1,0 +1,117 @@
+"""Discrete-event simulation engine.
+
+A small but complete event-driven kernel in the style of ns-2's scheduler:
+events are ``(time, sequence, callback)`` triples kept in a binary heap;
+the simulator pops them in time order and invokes the callbacks.  Ties are
+broken by insertion order so the simulation is fully deterministic for a
+given seed.
+
+The engine is deliberately free of networking concepts; links, queues and
+protocol agents (in the sibling modules) schedule callbacks on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Event", "Simulator"]
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """A scheduled callback.  Cancelling sets a flag; the heap entry stays."""
+
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(self, time: float, sequence: int, callback: Callback) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random generator.  All stochastic
+        components (RED dropping, Poisson sources, jitter) must draw from
+        :attr:`rng` so a run is reproducible from this single seed.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._stopped = False
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callback) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now}, requested={time})"
+            )
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> None:
+        """Run the simulation until the clock reaches ``until`` seconds."""
+        if until < self._now:
+            raise ValueError("cannot run to a time in the past")
+        self._stopped = False
+        while self._heap and not self._stopped:
+            event = self._heap[0]
+            if event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+        self._now = max(self._now, until)
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True

@@ -1,0 +1,86 @@
+"""Per-flow statistics shared by all sender implementations.
+
+The measurement methodology of the paper needs, for each flow, the same
+Palm-calculus estimands: loss-event times, loss-event intervals in packets,
+RTT samples, and the long-run throughput.  All sender agents (TCP, TFRC,
+probes) record into a :class:`FlowStats` instance so the analysis layer can
+treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["FlowStats"]
+
+
+@dataclass
+class FlowStats:
+    """Measurement record of one flow.
+
+    Attributes
+    ----------
+    flow_id:
+        The flow identifier.
+    label:
+        Human-readable flow kind (``"tcp"``, ``"tfrc"``, ``"poisson"``, ...).
+    packets_sent, packets_acked, packets_lost:
+        Counters maintained by the sender.
+    loss_event_times:
+        Simulation times at which loss events were detected.
+    loss_event_intervals:
+        Packets sent between successive loss events (``theta_n``).
+    rtt_samples:
+        Raw round-trip time samples in seconds.
+    rate_at_loss_events:
+        Send rate in force when each loss event was detected (``X_n``);
+        only rate-based senders fill this.
+    """
+
+    flow_id: int
+    label: str
+    packets_sent: int = 0
+    packets_acked: int = 0
+    packets_lost: int = 0
+    loss_event_times: List[float] = field(default_factory=list)
+    loss_event_intervals: List[float] = field(default_factory=list)
+    rtt_samples: List[float] = field(default_factory=list)
+    rate_at_loss_events: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def loss_event_rate(self) -> float:
+        """Loss-event rate ``p``: loss events per packet sent.
+
+        Estimated as the reciprocal of the mean loss-event interval, the
+        paper's definition (1).  Falls back to events/packets when fewer
+        than two events were observed.
+        """
+        if len(self.loss_event_intervals) >= 2:
+            mean_interval = float(np.mean(self.loss_event_intervals))
+            if mean_interval > 0.0:
+                return 1.0 / mean_interval
+        if self.packets_sent > 0 and self.loss_event_times:
+            return len(self.loss_event_times) / self.packets_sent
+        return 0.0
+
+    def mean_rtt(self) -> float:
+        """Mean of the recorded RTT samples (0 when none were taken)."""
+        if not self.rtt_samples:
+            return 0.0
+        return float(np.mean(self.rtt_samples))
+
+    def throughput(self, duration: float, use_acked: bool = True) -> float:
+        """Long-run send (or goodput) rate in packets per second."""
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        count = self.packets_acked if use_acked else self.packets_sent
+        return count / duration
+
+    def interval_array(self) -> np.ndarray:
+        """Loss-event intervals as a numpy array."""
+        return np.asarray(self.loss_event_intervals, dtype=float)

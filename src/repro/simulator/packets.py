@@ -1,0 +1,81 @@
+"""Packet and acknowledgment records exchanged by the simulated agents."""
+
+from __future__ import annotations
+
+__all__ = ["Packet", "Ack", "DEFAULT_PACKET_SIZE"]
+
+#: Default data packet size in bytes (ns-2's common 1000-byte payload).
+DEFAULT_PACKET_SIZE = 1000
+
+
+class Packet:
+    """A data packet travelling from a sender to its receiver.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the sending flow.
+    sequence:
+        Per-flow sequence number (0, 1, 2, ...).
+    size_bytes:
+        Packet size in bytes (variable for the audio source).
+    send_time:
+        Simulation time at which the sender emitted the packet.
+    is_retransmission:
+        Whether the packet is a TCP retransmission (retransmissions are not
+        used for RTT sampling, per Karn's algorithm).
+    """
+
+    __slots__ = ("flow_id", "sequence", "size_bytes", "send_time", "is_retransmission")
+
+    def __init__(
+        self,
+        flow_id: int,
+        sequence: int,
+        size_bytes: int,
+        send_time: float,
+        is_retransmission: bool = False,
+    ) -> None:
+        self.flow_id = flow_id
+        self.sequence = sequence
+        self.size_bytes = size_bytes
+        self.send_time = send_time
+        self.is_retransmission = is_retransmission
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(flow={self.flow_id}, seq={self.sequence}, "
+            f"size={self.size_bytes}, t={self.send_time:.6f})"
+        )
+
+
+class Ack:
+    """An acknowledgment returned by a receiver to its sender.
+
+    ``cumulative_sequence`` is the highest in-order sequence received plus
+    one (TCP semantics); ``echoed_sequence`` identifies the specific data
+    packet that triggered the ack (used by rate-based senders for per-packet
+    loss detection and RTT sampling); ``echoed_send_time`` carries the data
+    packet's send timestamp so the sender can sample the RTT without keeping
+    per-packet state.
+    """
+
+    __slots__ = ("flow_id", "cumulative_sequence", "echoed_sequence", "echoed_send_time")
+
+    def __init__(
+        self,
+        flow_id: int,
+        cumulative_sequence: int,
+        echoed_sequence: int,
+        echoed_send_time: float,
+    ) -> None:
+        self.flow_id = flow_id
+        self.cumulative_sequence = cumulative_sequence
+        self.echoed_sequence = echoed_sequence
+        self.echoed_send_time = echoed_send_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Ack(flow={self.flow_id}, cum={self.cumulative_sequence}, "
+            f"echo={self.echoed_sequence})"
+        )

@@ -1,0 +1,390 @@
+"""Scenario builders: the dumbbell topologies of the paper's experiments.
+
+Three experiment families share the same shape -- a set of TFRC, TCP and
+probe flows sharing a single bottleneck -- and differ only in queue
+discipline, capacity, delays and flow counts:
+
+* the **ns-2 experiments** (Section V-A.2): RED bottleneck at 15 Mb/s,
+  RTT about 50 ms, equal numbers of TFRC and TCP Sack connections, with
+  buffer/thresholds set to 5/2, 1/4 and 5/4 of the bandwidth-delay
+  product;
+* the **lab experiments** (Section V-A.3): a 10 Mb/s bottleneck with
+  DropTail (64 or 100 packets) or RED, 25 ms added propagation each way;
+* the **Internet experiments** (Section V-A.4): paths to INRIA / UMASS /
+  KTH / UMELB parameterised by Table I (access rate, RTT).
+
+The scenario runner returns per-flow :class:`~repro.simulator.flowstats.
+FlowStats` plus scenario-level metadata, from which the analysis layer
+computes the TCP-friendliness breakdown.
+
+The default capacities and durations are scaled down from the paper's so
+that a scenario runs in seconds of wall-clock time in pure Python; the
+scaling preserves the ratio of buffer to bandwidth-delay product and the
+per-flow share of the bottleneck, which are what the claims depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.formulas import LossThroughputFormula, PftkStandardFormula
+from .engine import Simulator
+from .flowstats import FlowStats
+from .link import BottleneckLink
+from .packets import DEFAULT_PACKET_SIZE
+from .queues import DropTailQueue, QueueDiscipline, RedQueue
+from .sources import CbrSource, PoissonSource
+from .tcp import TcpSender
+from .tfrc import TfrcSender
+
+__all__ = [
+    "DumbbellConfig",
+    "DumbbellResult",
+    "run_dumbbell",
+    "ns2_config",
+    "lab_config",
+    "internet_config",
+    "INTERNET_PATHS",
+]
+
+
+@dataclass(frozen=True)
+class PathProfile:
+    """Parameters of one Internet path from Table I of the paper."""
+
+    name: str
+    access_rate_mbps: float
+    hops: int
+    rtt_seconds: float
+
+
+#: Table I of the paper: receiver access rate, hop count and round-trip time.
+INTERNET_PATHS: Dict[str, PathProfile] = {
+    "INRIA": PathProfile("INRIA", 100.0, 13, 0.030),
+    "UMASS": PathProfile("UMASS", 100.0, 15, 0.097),
+    "KTH": PathProfile("KTH", 10.0, 20, 0.046),
+    "UMELB": PathProfile("UMELB", 10.0, 24, 0.350),
+}
+
+
+@dataclass
+class DumbbellConfig:
+    """Configuration of a dumbbell experiment.
+
+    Attributes
+    ----------
+    num_tfrc, num_tcp, num_poisson, num_cbr:
+        Flow counts of each kind sharing the bottleneck.
+    capacity_mbps:
+        Bottleneck capacity in megabits per second.
+    rtt_seconds:
+        Fixed two-way propagation delay (excluding queueing).
+    queue_type:
+        ``"droptail"`` or ``"red"``.
+    buffer_packets:
+        Physical buffer size; if None it is derived from the
+        bandwidth-delay product (2.5x, as in the paper's RED setup).
+    red_min_fraction, red_max_fraction:
+        RED thresholds as fractions of the bandwidth-delay product
+        (paper: 1/4 and 5/4).
+    history_length:
+        TFRC loss-interval history length ``L``.
+    tfrc_comprehensive:
+        Whether TFRC's comprehensive control element is enabled.
+    probe_rate_fraction:
+        Send rate of each probe source as a fraction of the fair share.
+    duration:
+        Simulated seconds.
+    warmup:
+        Leading seconds excluded from throughput/loss accounting.
+    packet_size:
+        Packet size in bytes.
+    seed:
+        Simulation seed.
+    formula:
+        The loss-throughput formula used by the TFRC senders; defaults to
+        PFTK-standard as in the paper's experiments.
+    """
+
+    num_tfrc: int = 1
+    num_tcp: int = 1
+    num_poisson: int = 0
+    num_cbr: int = 0
+    capacity_mbps: float = 1.5
+    rtt_seconds: float = 0.05
+    queue_type: str = "red"
+    buffer_packets: Optional[int] = None
+    red_min_fraction: float = 0.25
+    red_max_fraction: float = 1.25
+    history_length: int = 8
+    tfrc_comprehensive: bool = True
+    probe_rate_fraction: float = 0.25
+    duration: float = 200.0
+    warmup: float = 20.0
+    packet_size: int = DEFAULT_PACKET_SIZE
+    seed: Optional[int] = 1
+    formula: Optional[LossThroughputFormula] = None
+
+    def bandwidth_delay_packets(self) -> int:
+        """Bandwidth-delay product in packets."""
+        bits = self.capacity_mbps * 1e6 * self.rtt_seconds
+        return max(int(bits / (8 * self.packet_size)), 4)
+
+
+@dataclass
+class DumbbellResult:
+    """Outcome of one dumbbell run."""
+
+    config: DumbbellConfig
+    tfrc_flows: List[FlowStats] = field(default_factory=list)
+    tcp_flows: List[FlowStats] = field(default_factory=list)
+    poisson_flows: List[FlowStats] = field(default_factory=list)
+    cbr_flows: List[FlowStats] = field(default_factory=list)
+    measured_duration: float = 0.0
+
+    def all_flows(self) -> List[FlowStats]:
+        """All flow statistics, TFRC first."""
+        return self.tfrc_flows + self.tcp_flows + self.poisson_flows + self.cbr_flows
+
+    def mean_loss_event_rate(self, flows: Sequence[FlowStats]) -> float:
+        """Average loss-event rate over a set of flows (0 if empty)."""
+        rates = [flow.loss_event_rate() for flow in flows if flow.loss_event_rate() > 0]
+        if not rates:
+            return 0.0
+        return float(sum(rates) / len(rates))
+
+    def mean_throughput(self, flows: Sequence[FlowStats]) -> float:
+        """Average throughput (packets/s) over a set of flows (0 if empty)."""
+        if not flows or self.measured_duration <= 0.0:
+            return 0.0
+        return float(
+            sum(flow.throughput(self.measured_duration) for flow in flows) / len(flows)
+        )
+
+
+def _build_queue(config: DumbbellConfig) -> QueueDiscipline:
+    bdp = config.bandwidth_delay_packets()
+    buffer_packets = (
+        config.buffer_packets
+        if config.buffer_packets is not None
+        else max(int(2.5 * bdp), 8)
+    )
+    queue_type = config.queue_type.strip().lower()
+    if queue_type == "droptail":
+        return DropTailQueue(buffer_packets)
+    if queue_type == "red":
+        min_threshold = max(config.red_min_fraction * bdp, 1.0)
+        max_threshold = max(config.red_max_fraction * bdp, min_threshold + 1.0)
+        return RedQueue(
+            capacity_packets=buffer_packets,
+            min_threshold=min_threshold,
+            max_threshold=max_threshold,
+            max_drop_probability=0.1,
+            weight=0.002,
+        )
+    raise ValueError(f"unknown queue_type {config.queue_type!r}")
+
+
+def run_dumbbell(config: DumbbellConfig) -> DumbbellResult:
+    """Run one dumbbell scenario and return the per-flow measurements.
+
+    Flow statistics (packets, loss events, RTT samples) are reset at the
+    end of the warm-up period so that the returned counters reflect the
+    steady-state portion only.
+    """
+    if config.duration <= config.warmup:
+        raise ValueError("duration must exceed warmup")
+    simulator = Simulator(seed=config.seed)
+    queue = _build_queue(config)
+    capacity_bps = config.capacity_mbps * 1e6
+    link = BottleneckLink(
+        simulator,
+        queue,
+        capacity_bps=capacity_bps,
+        propagation_delay=config.rtt_seconds / 4.0,
+    )
+    formula = config.formula or PftkStandardFormula(rtt=config.rtt_seconds)
+    access_delay = config.rtt_seconds / 2.0
+    fair_share = capacity_bps / (
+        8.0
+        * config.packet_size
+        * max(config.num_tfrc + config.num_tcp + config.num_poisson + config.num_cbr, 1)
+    )
+    max_rate = 4.0 * capacity_bps / (8.0 * config.packet_size)
+
+    flow_id = 0
+    tfrc_senders: List[TfrcSender] = []
+    tcp_senders: List[TcpSender] = []
+    probe_senders: List[PoissonSource] = []
+    cbr_senders: List[CbrSource] = []
+
+    for index in range(config.num_tfrc):
+        sender = TfrcSender(
+            simulator,
+            link,
+            flow_id,
+            formula=formula,
+            access_delay=access_delay,
+            history_length=config.history_length,
+            comprehensive=config.tfrc_comprehensive,
+            packet_size=config.packet_size,
+            max_rate=max_rate,
+            start_time=0.01 * index,
+        )
+        tfrc_senders.append(sender)
+        flow_id += 1
+    for index in range(config.num_tcp):
+        sender = TcpSender(
+            simulator,
+            link,
+            flow_id,
+            access_delay=access_delay,
+            packet_size=config.packet_size,
+            start_time=0.01 * (config.num_tfrc + index),
+        )
+        tcp_senders.append(sender)
+        flow_id += 1
+    for index in range(config.num_poisson):
+        probe = PoissonSource(
+            simulator,
+            link,
+            flow_id,
+            rate=max(config.probe_rate_fraction * fair_share, 1.0),
+            access_delay=access_delay,
+            packet_size=config.packet_size,
+            start_time=0.01 * (config.num_tfrc + config.num_tcp + index),
+        )
+        probe_senders.append(probe)
+        flow_id += 1
+    for index in range(config.num_cbr):
+        probe = CbrSource(
+            simulator,
+            link,
+            flow_id,
+            rate=max(config.probe_rate_fraction * fair_share, 1.0),
+            access_delay=access_delay,
+            packet_size=config.packet_size,
+            start_time=0.01 * (config.num_tfrc + config.num_tcp + config.num_cbr + index),
+        )
+        cbr_senders.append(probe)
+        flow_id += 1
+
+    # Warm up, then reset the counters that feed the long-run estimates.
+    simulator.run(until=config.warmup)
+    all_senders = tfrc_senders + tcp_senders + probe_senders + cbr_senders
+    for sender in all_senders:
+        stats = sender.stats
+        stats.packets_sent = 0
+        stats.packets_acked = 0
+        stats.packets_lost = 0
+        stats.loss_event_times.clear()
+        stats.loss_event_intervals.clear()
+        stats.rtt_samples.clear()
+        stats.rate_at_loss_events.clear()
+    simulator.run(until=config.duration)
+
+    result = DumbbellResult(
+        config=config,
+        tfrc_flows=[sender.stats for sender in tfrc_senders],
+        tcp_flows=[sender.stats for sender in tcp_senders],
+        poisson_flows=[probe.stats for probe in probe_senders],
+        cbr_flows=[probe.stats for probe in cbr_senders],
+        measured_duration=config.duration - config.warmup,
+    )
+    return result
+
+
+def ns2_config(
+    num_connections: int,
+    history_length: int = 8,
+    duration: float = 200.0,
+    capacity_mbps: float = 1.5,
+    seed: Optional[int] = 1,
+) -> DumbbellConfig:
+    """ns-2-analogue configuration (Section V-A.2), scaled down.
+
+    ``num_connections`` TFRC and the same number of TCP flows share a RED
+    bottleneck; RTT about 50 ms.  The paper uses 15 Mb/s; the default here
+    is 1.5 Mb/s so that per-flow packet rates (and hence loss-event
+    statistics) at small connection counts remain comparable in a run that
+    completes quickly, with ``capacity_mbps`` available to raise it.
+    """
+    return DumbbellConfig(
+        num_tfrc=num_connections,
+        num_tcp=num_connections,
+        capacity_mbps=capacity_mbps,
+        rtt_seconds=0.05,
+        queue_type="red",
+        history_length=history_length,
+        tfrc_comprehensive=True,
+        duration=duration,
+        warmup=min(20.0, duration / 5.0),
+        seed=seed,
+    )
+
+
+def lab_config(
+    num_connections: int,
+    queue_type: str = "droptail",
+    buffer_packets: int = 100,
+    history_length: int = 8,
+    duration: float = 200.0,
+    capacity_mbps: float = 1.0,
+    seed: Optional[int] = 1,
+) -> DumbbellConfig:
+    """Lab-analogue configuration (Section V-A.3).
+
+    DropTail with 64 or 100 packet buffers, or RED; 25 ms of added
+    propagation delay each way; the comprehensive control element of TFRC
+    disabled, PFTK-standard, ``L = 8`` -- as in the paper's testbed.
+    """
+    return DumbbellConfig(
+        num_tfrc=num_connections,
+        num_tcp=num_connections,
+        capacity_mbps=capacity_mbps,
+        rtt_seconds=0.05,
+        queue_type=queue_type,
+        buffer_packets=buffer_packets,
+        history_length=history_length,
+        tfrc_comprehensive=False,
+        duration=duration,
+        warmup=min(20.0, duration / 5.0),
+        seed=seed,
+    )
+
+
+def internet_config(
+    path_name: str,
+    num_connections: int,
+    history_length: int = 8,
+    duration: float = 200.0,
+    capacity_mbps: float = 1.0,
+    seed: Optional[int] = 1,
+) -> DumbbellConfig:
+    """Internet-analogue configuration for one of the Table I paths.
+
+    The path's RTT parameterises the propagation delay; the bottleneck
+    capacity models the constrained segment of the path (scaled down from
+    the access rates of Table I so that runs are fast); cross traffic is
+    represented by the competing TCP flows themselves, as in the paper
+    where TFRC and TCP probes are launched in equal numbers.
+    """
+    if path_name not in INTERNET_PATHS:
+        raise KeyError(
+            f"unknown path {path_name!r}; valid names are {sorted(INTERNET_PATHS)}"
+        )
+    profile = INTERNET_PATHS[path_name]
+    return DumbbellConfig(
+        num_tfrc=num_connections,
+        num_tcp=num_connections,
+        capacity_mbps=capacity_mbps,
+        rtt_seconds=profile.rtt_seconds,
+        queue_type="droptail",
+        buffer_packets=None,
+        history_length=history_length,
+        tfrc_comprehensive=True,
+        duration=duration,
+        warmup=min(20.0, duration / 5.0),
+        seed=seed,
+    )

@@ -1,0 +1,100 @@
+"""Receivers: turn delivered data packets into acknowledgments.
+
+Each flow has one receiver.  On packet delivery the receiver updates its
+cumulative-acknowledgment state and schedules an :class:`~repro.simulator.
+packets.Ack` back to the sender after the flow's reverse-path delay (the
+reverse path is assumed uncongested, as in the paper's dumbbell scenarios
+where acks are small and travel on over-provisioned links).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Set
+
+from .engine import Simulator
+from .packets import Ack, Packet
+
+__all__ = ["Receiver"]
+
+AckCallback = Callable[[Ack], None]
+
+
+class Receiver:
+    """Per-flow receiver with cumulative acknowledgment semantics.
+
+    Parameters
+    ----------
+    simulator:
+        The event engine.
+    flow_id:
+        Flow this receiver serves.
+    reverse_delay:
+        Delay in seconds for an ack to reach the sender.
+    ack_callback:
+        Invoked at the sender side when the ack arrives.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        flow_id: int,
+        reverse_delay: float,
+        ack_callback: AckCallback,
+    ) -> None:
+        if reverse_delay < 0.0:
+            raise ValueError("reverse_delay must be non-negative")
+        self.simulator = simulator
+        self.flow_id = flow_id
+        self.reverse_delay = float(reverse_delay)
+        self.ack_callback = ack_callback
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.first_arrival_time: float = -1.0
+        self.last_arrival_time: float = -1.0
+        # Cumulative acknowledgment state: next expected in-order sequence,
+        # plus the set of out-of-order sequences already received.
+        self._next_expected = 0
+        self._out_of_order: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        """Handle a delivered data packet: update state and send an ack."""
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        if self.first_arrival_time < 0.0:
+            self.first_arrival_time = self.simulator.now
+        self.last_arrival_time = self.simulator.now
+
+        sequence = packet.sequence
+        if sequence == self._next_expected:
+            self._next_expected += 1
+            while self._next_expected in self._out_of_order:
+                self._out_of_order.discard(self._next_expected)
+                self._next_expected += 1
+        elif sequence > self._next_expected:
+            self._out_of_order.add(sequence)
+        # Duplicate or already-covered packets only refresh the ack.
+
+        ack = Ack(
+            flow_id=self.flow_id,
+            cumulative_sequence=self._next_expected,
+            echoed_sequence=sequence,
+            echoed_send_time=packet.send_time,
+        )
+        self.simulator.schedule(self.reverse_delay, lambda: self.ack_callback(ack))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def cumulative_sequence(self) -> int:
+        """Next expected in-order sequence number."""
+        return self._next_expected
+
+    def goodput(self, duration: float) -> float:
+        """Received packets per second over ``duration`` seconds."""
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        return self.packets_received / duration

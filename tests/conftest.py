@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PftkSimplifiedFormula,
+    PftkStandardFormula,
+    SqrtFormula,
+    tfrc_weights,
+)
+from repro.lossprocess import ShiftedExponentialIntervals
+
+
+@pytest.fixture
+def sqrt_formula():
+    """SQRT formula with unit RTT (the paper's reference setting)."""
+    return SqrtFormula(rtt=1.0)
+
+
+@pytest.fixture
+def pftk_simplified():
+    """PFTK-simplified with unit RTT and q = 4r."""
+    return PftkSimplifiedFormula(rtt=1.0)
+
+
+@pytest.fixture
+def pftk_standard():
+    """PFTK-standard with unit RTT and q = 4r."""
+    return PftkStandardFormula(rtt=1.0)
+
+
+@pytest.fixture
+def all_formulas(sqrt_formula, pftk_simplified, pftk_standard):
+    """The three formulas studied in the paper."""
+    return [sqrt_formula, pftk_simplified, pftk_standard]
+
+
+@pytest.fixture
+def moderate_loss_process():
+    """Shifted-exponential intervals at p = 0.05, cv close to 1."""
+    return ShiftedExponentialIntervals.from_loss_rate_and_cv(0.05, 0.999)
+
+
+@pytest.fixture
+def heavy_loss_process():
+    """Shifted-exponential intervals at p = 0.3, cv close to 1."""
+    return ShiftedExponentialIntervals.from_loss_rate_and_cv(0.3, 0.999)
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator shared by tests that sample directly."""
+    return np.random.default_rng(20020814)
+
+
+@pytest.fixture
+def tfrc8_weights():
+    """TFRC weight profile of length 8."""
+    return tfrc_weights(8)

@@ -1,0 +1,171 @@
+"""Unit tests for the Claim 3 and Claim 4 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Claim4Prediction,
+    CongestionModel,
+    aimd_loss_event_rate,
+    aimd_loss_throughput_constant,
+    claim3_loss_event_rates,
+    claim4_prediction,
+    equation_based_loss_event_rate,
+    equation_based_rate_profile,
+    loss_event_rate_ratio,
+    poisson_source_rate_profile,
+    responsive_source_rate_profile,
+    sampled_loss_event_rate,
+    simulate_aimd_on_link,
+    simulate_congestion_sampling,
+    simulate_equation_based_on_link,
+)
+from repro.core.formulas import PftkStandardFormula, SqrtFormula
+
+
+class TestCongestionModel:
+    def test_two_state_construction(self):
+        model = CongestionModel.two_state(0.01, 0.2, bad_probability=0.25)
+        assert model.num_states == 2
+        assert model.time_average_loss_rate() == pytest.approx(
+            0.75 * 0.01 + 0.25 * 0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionModel(np.array([0.6, 0.6]), np.array([0.1, 0.1]))
+        with pytest.raises(ValueError):
+            CongestionModel(np.array([0.5, 0.5]), np.array([0.1, 1.5]))
+        with pytest.raises(ValueError):
+            CongestionModel.two_state(bad_probability=1.0)
+
+
+class TestSamplingFormula:
+    def test_constant_profile_recovers_time_average(self):
+        """A non-adaptive source sees p'' = sum_i pi_i p_i (equation (13))."""
+        model = CongestionModel.two_state(0.005, 0.1, bad_probability=0.3)
+        profile = poisson_source_rate_profile(model)
+        assert sampled_loss_event_rate(model, profile) == pytest.approx(
+            model.time_average_loss_rate()
+        )
+
+    def test_responsive_profile_sees_smaller_rate(self):
+        model = CongestionModel.two_state(0.005, 0.1, bad_probability=0.3)
+        responsive = sampled_loss_event_rate(
+            model, responsive_source_rate_profile(model, SqrtFormula(rtt=1.0))
+        )
+        assert responsive < model.time_average_loss_rate()
+
+    def test_profile_shape_validation(self):
+        model = CongestionModel.two_state()
+        with pytest.raises(ValueError):
+            sampled_loss_event_rate(model, [1.0])
+        with pytest.raises(ValueError):
+            sampled_loss_event_rate(model, [0.0, 0.0])
+
+
+class TestClaim3:
+    @pytest.mark.parametrize("history_length", [1, 2, 4, 8, 16])
+    def test_ordering_holds(self, history_length):
+        """Claim 3: p'(TCP) <= p(EBRC) <= p''(Poisson)."""
+        model = CongestionModel.two_state(0.002, 0.08, bad_probability=0.4)
+        result = claim3_loss_event_rates(
+            model, SqrtFormula(rtt=1.0), history_length=history_length
+        )
+        assert result.ordering_holds
+
+    def test_larger_window_sees_larger_loss_rate(self):
+        """The smoother (larger L) the source, the closer to the Poisson
+        limit -- the trend of Figure 7."""
+        model = CongestionModel.two_state(0.002, 0.08, bad_probability=0.4)
+        formula = SqrtFormula(rtt=1.0)
+        rates = [
+            claim3_loss_event_rates(model, formula, history_length=length)
+            .equation_based_loss_rate
+            for length in (1, 4, 16, 64)
+        ]
+        assert all(earlier <= later + 1e-12 for earlier, later in zip(rates, rates[1:]))
+
+    def test_l_zero_recovers_tcp(self):
+        model = CongestionModel.two_state(0.002, 0.08, bad_probability=0.4)
+        formula = SqrtFormula(rtt=1.0)
+        result = claim3_loss_event_rates(model, formula, history_length=0)
+        assert result.equation_based_loss_rate == pytest.approx(result.tcp_loss_rate)
+
+    def test_simulation_validates_formula(self):
+        model = CongestionModel.two_state(0.01, 0.1, bad_probability=0.5)
+        formula = SqrtFormula(rtt=1.0)
+        profile = equation_based_rate_profile(model, formula, 8)
+        simulated = simulate_congestion_sampling(
+            model, profile, mean_state_duration=100.0, num_transitions=50_000, seed=3
+        )
+        analytic = sampled_loss_event_rate(model, profile)
+        assert simulated == pytest.approx(analytic, rel=0.03)
+
+    def test_simulation_validation_errors(self):
+        model = CongestionModel.two_state()
+        with pytest.raises(ValueError):
+            simulate_congestion_sampling(model, [1.0], seed=1)
+        with pytest.raises(ValueError):
+            simulate_congestion_sampling(model, [1.0, 1.0], mean_state_duration=0.0)
+
+
+class TestClaim4ClosedForms:
+    def test_ratio_is_sixteen_ninths_for_tcp_beta(self):
+        assert loss_event_rate_ratio(0.5) == pytest.approx(16.0 / 9.0)
+
+    def test_ratio_matches_rate_quotient(self):
+        for beta in (0.3, 0.5, 0.7):
+            prediction = claim4_prediction(alpha=1.0, beta=beta, capacity=80.0)
+            assert prediction.ratio == pytest.approx(loss_event_rate_ratio(beta))
+
+    def test_rates_scale_with_capacity_squared(self):
+        small = aimd_loss_event_rate(1.0, 0.5, 10.0)
+        large = aimd_loss_event_rate(1.0, 0.5, 20.0)
+        assert small == pytest.approx(4.0 * large)
+        small_e = equation_based_loss_event_rate(1.0, 0.5, 10.0)
+        large_e = equation_based_loss_event_rate(1.0, 0.5, 20.0)
+        assert small_e == pytest.approx(4.0 * large_e)
+
+    def test_constant_matches_aimd_formula(self):
+        assert aimd_loss_throughput_constant(1.0, 0.5) == pytest.approx(
+            np.sqrt(1.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loss_event_rate_ratio(0.0)
+        with pytest.raises(ValueError):
+            aimd_loss_event_rate(0.0, 0.5, 10.0)
+        with pytest.raises(ValueError):
+            equation_based_loss_event_rate(1.0, 0.5, 0.0)
+
+
+class TestClaim4Simulations:
+    def test_aimd_sawtooth_matches_closed_form(self):
+        """The deterministic sawtooth converges to p' = 2a/((1-b^2)c^2)."""
+        capacity = 60.0
+        simulated = simulate_aimd_on_link(alpha=1.0, beta=0.5, capacity=capacity,
+                                          num_cycles=2_000)
+        predicted = aimd_loss_event_rate(1.0, 0.5, capacity)
+        assert simulated == pytest.approx(predicted, rel=0.1)
+
+    def test_equation_based_matches_closed_form(self):
+        capacity = 60.0
+        simulated = simulate_equation_based_on_link(alpha=1.0, beta=0.5,
+                                                    capacity=capacity,
+                                                    num_events=5_000)
+        predicted = equation_based_loss_event_rate(1.0, 0.5, capacity)
+        assert simulated == pytest.approx(predicted, rel=0.1)
+
+    def test_simulated_ratio_close_to_sixteen_ninths(self):
+        capacity = 60.0
+        aimd = simulate_aimd_on_link(capacity=capacity, num_cycles=2_000)
+        ebrc = simulate_equation_based_on_link(capacity=capacity, num_events=5_000)
+        assert aimd / ebrc == pytest.approx(16.0 / 9.0, rel=0.15)
+
+    def test_simulation_validation(self):
+        with pytest.raises(ValueError):
+            simulate_aimd_on_link(num_cycles=0)
+        with pytest.raises(ValueError):
+            simulate_equation_based_on_link(num_events=5)

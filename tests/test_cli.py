@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["frobnicate"])
+
+    def test_sweep_defaults(self):
+        arguments = build_parser().parse_args(["sweep"])
+        assert arguments.formula == "pftk-simplified"
+        assert arguments.windows == [2, 8]
+
+
+class TestCommands:
+    def test_sweep_prints_table(self, capsys):
+        exit_code = main([
+            "sweep", "--loss-rates", "0.1", "--windows", "4",
+            "--events", "2000", "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "x_bar/f(p)" in captured.out
+        assert "0.1" in captured.out
+
+    def test_claim3_ordering_in_output(self, capsys):
+        exit_code = main(["claim3", "--windows", "2", "8"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Poisson" in captured.out
+
+    def test_claim4_ratio(self, capsys):
+        exit_code = main(["claim4", "--beta", "0.5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "1.7778" in captured.out
+
+    def test_audio_command(self, capsys):
+        exit_code = main([
+            "audio", "--loss-probability", "0.2", "--duration", "60",
+            "--formula", "sqrt", "--seed", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Bernoulli" in captured.out
+
+    def test_dumbbell_command(self, capsys):
+        exit_code = main([
+            "dumbbell", "--connections", "1", "--duration", "40", "--seed", "5",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "p'/p" in captured.out
+
+    def test_sweep_rejects_unknown_formula(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "--formula", "cubic", "--events", "2000"])

@@ -1,0 +1,139 @@
+"""Unit tests for the sufficient conditions of Theorems 1 and 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditions import (
+    Verdict,
+    check_condition_c1,
+    check_condition_c2,
+    evaluate_conditions,
+    theorem1_bound,
+    theorem1_verdict,
+    theorem2_verdict,
+)
+from repro.core.control import run_basic_control
+from repro.core.estimator import tfrc_weights
+from repro.core.formulas import PftkSimplifiedFormula, SqrtFormula
+from repro.lossprocess import ShiftedExponentialIntervals, make_rng
+
+
+class TestCovarianceConditions:
+    def test_c1_holds_for_independent_samples(self, rng):
+        intervals = rng.exponential(10.0, size=20_000)
+        estimates = rng.exponential(10.0, size=20_000)
+        assert check_condition_c1(intervals, estimates, tolerance=0.5)
+
+    def test_c1_fails_for_strongly_correlated_samples(self, rng):
+        base = rng.exponential(10.0, size=5_000)
+        assert not check_condition_c1(base, base * 1.01)
+
+    def test_c1_trivially_true_for_single_sample(self):
+        assert check_condition_c1([5.0], [7.0])
+
+    def test_c2_sign_detection(self, rng):
+        rates = rng.uniform(1.0, 10.0, size=5_000)
+        durations_neg = 100.0 / rates  # negative correlation
+        durations_pos = rates * 2.0  # positive correlation
+        assert check_condition_c2(rates, durations_neg)
+        assert not check_condition_c2(rates, durations_pos)
+
+
+class TestTheorem1Bound:
+    def test_bound_equals_formula_for_zero_covariance(self, pftk_simplified):
+        bound = theorem1_bound(pftk_simplified, 0.05, 0.0)
+        assert bound == pytest.approx(pftk_simplified.rate(0.05))
+
+    def test_bound_below_formula_for_negative_covariance(self, pftk_simplified):
+        """Negative covariance tightens the bound below f(p): this is the
+        quantitative form of Theorem 1's conservativeness conclusion."""
+        bound = theorem1_bound(pftk_simplified, 0.05, -10.0)
+        assert bound < pftk_simplified.rate(0.05)
+
+    def test_bound_above_formula_for_small_positive_covariance(self, pftk_simplified):
+        """A small positive covariance can only allow a small overshoot
+        (the paper's remark after equation (10))."""
+        bound = theorem1_bound(pftk_simplified, 0.05, 10.0)
+        assert bound > pftk_simplified.rate(0.05)
+        assert bound < 1.2 * pftk_simplified.rate(0.05)
+
+    def test_bound_holds_empirically(self, pftk_simplified):
+        """For an i.i.d. trace the measured throughput respects bound (10)."""
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 0.999)
+        intervals = process.sample_intervals(40_000, make_rng(77))
+        trace = run_basic_control(pftk_simplified, intervals, weights=tfrc_weights(8))
+        bound = theorem1_bound(
+            pftk_simplified, trace.loss_event_rate, trace.interval_estimate_covariance()
+        )
+        assert trace.throughput <= bound * 1.01
+
+    def test_bound_rejects_invalid_loss_rate(self, sqrt_formula):
+        with pytest.raises(ValueError):
+            theorem1_bound(sqrt_formula, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            theorem1_bound(sqrt_formula, 1.5, 0.0)
+
+    def test_bound_rejects_out_of_domain_covariance(self, sqrt_formula):
+        """A huge positive covariance violates the applicability condition."""
+        with pytest.raises(ValueError):
+            theorem1_bound(sqrt_formula, 0.1, 1e9)
+
+
+class TestVerdictLogic:
+    def test_theorem1_conservative(self):
+        assert (
+            theorem1_verdict(True, 1.0, True) is Verdict.CONSERVATIVE
+        )
+
+    def test_theorem1_nearly_convex_counts(self):
+        """Proposition 4: deviation ratio ~1.0026 is treated as convex."""
+        assert theorem1_verdict(False, 1.0026, True) is Verdict.CONSERVATIVE
+
+    def test_theorem1_inconclusive_without_c1(self):
+        assert theorem1_verdict(True, 1.0, False) is Verdict.INCONCLUSIVE
+
+    def test_theorem2_conservative_branch(self):
+        assert (
+            theorem2_verdict(True, False, True, False, True) is Verdict.CONSERVATIVE
+        )
+
+    def test_theorem2_non_conservative_branch(self):
+        assert (
+            theorem2_verdict(False, True, False, True, True)
+            is Verdict.NON_CONSERVATIVE
+        )
+
+    def test_theorem2_degenerate_estimator_is_inconclusive(self):
+        """Condition (V): without estimator variance the converse does not apply."""
+        assert (
+            theorem2_verdict(False, True, False, True, False) is Verdict.INCONCLUSIVE
+        )
+
+
+class TestEvaluateConditions:
+    def test_iid_pftk_trace_is_declared_conservative(self, pftk_simplified):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 0.999)
+        intervals = process.sample_intervals(30_000, make_rng(5))
+        trace = run_basic_control(pftk_simplified, intervals, weights=tfrc_weights(8))
+        report = evaluate_conditions(
+            pftk_simplified, trace, covariance_tolerance=trace.loss_event_rate**-2 * 0.01
+        )
+        assert report.theorem1 is Verdict.CONSERVATIVE
+        assert report.measured_normalized_throughput < 1.0
+        assert report.throughput_bound is not None
+        assert trace.throughput <= report.throughput_bound * 1.01
+
+    def test_degenerate_trace_has_no_variance(self, sqrt_formula):
+        intervals = [25.0] * 200
+        trace = run_basic_control(sqrt_formula, intervals, weights=tfrc_weights(4))
+        report = evaluate_conditions(sqrt_formula, trace)
+        assert not report.estimator_has_variance
+        assert report.measured_normalized_throughput == pytest.approx(1.0, rel=1e-9)
+
+    def test_report_contains_formula_properties(self, sqrt_formula):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.05, 0.9)
+        intervals = process.sample_intervals(5_000, make_rng(6))
+        trace = run_basic_control(sqrt_formula, intervals, weights=tfrc_weights(8))
+        report = evaluate_conditions(sqrt_formula, trace)
+        assert report.g_is_convex
+        assert report.f_is_concave

@@ -1,0 +1,119 @@
+"""Unit tests for the convexity diagnostics (Figure 2, Proposition 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convexity import (
+    analyze_formula_convexity,
+    convex_closure,
+    deviation_from_convexity,
+    is_concave_on_grid,
+    is_convex_on_grid,
+)
+from repro.core.formulas import PftkSimplifiedFormula, PftkStandardFormula, SqrtFormula
+
+
+class TestConvexClosure:
+    def test_convex_function_equals_its_closure(self):
+        grid, values, closure = convex_closure(lambda x: x**2, 0.1, 5.0)
+        assert np.allclose(values, closure, atol=1e-9)
+
+    def test_concave_function_closure_is_chord(self):
+        grid, values, closure = convex_closure(np.sqrt, 1.0, 9.0, num_points=512)
+        # The convex closure of a concave function on an interval is the
+        # chord between the endpoints.
+        chord = values[0] + (grid - grid[0]) * (values[-1] - values[0]) / (
+            grid[-1] - grid[0]
+        )
+        assert np.allclose(closure, chord, atol=1e-6)
+
+    def test_closure_lower_bounds_function(self):
+        function = lambda x: np.sin(x) + 0.2 * x**2
+        _, values, closure = convex_closure(function, 0.0, 6.0)
+        assert np.all(closure <= values + 1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            convex_closure(np.sqrt, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            convex_closure(np.sqrt, 1.0, 2.0, num_points=2)
+
+
+class TestDeviationRatio:
+    def test_equals_one_for_convex_function(self):
+        ratio = deviation_from_convexity(lambda x: np.exp(x), 0.0, 2.0)
+        assert ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_pftk_standard_ratio_matches_paper(self):
+        """Figure 2: the deviation ratio of 1/f(1/x) for PFTK-standard is
+        about 1.0026 (with r = 1, q = 4r)."""
+        formula = PftkStandardFormula(rtt=1.0)
+        ratio = deviation_from_convexity(formula.g, 1.0, 50.0, num_points=16384)
+        assert 1.001 < ratio < 1.006
+        assert ratio == pytest.approx(1.0026, abs=0.002)
+
+    def test_pftk_simplified_is_convex(self):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        ratio = deviation_from_convexity(formula.g, 0.5, 200.0, num_points=8192)
+        assert ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_sqrt_is_convex(self):
+        formula = SqrtFormula(rtt=1.0)
+        ratio = deviation_from_convexity(formula.g, 0.5, 200.0, num_points=4096)
+        assert ratio == pytest.approx(1.0, abs=1e-6)
+
+
+class TestGridChecks:
+    def test_convex_grid(self):
+        grid = np.linspace(0.0, 5.0, 100)
+        assert is_convex_on_grid(grid**2)
+        assert not is_convex_on_grid(np.sqrt(grid + 1.0))
+
+    def test_concave_grid(self):
+        grid = np.linspace(0.0, 5.0, 100)
+        assert is_concave_on_grid(np.sqrt(grid + 1.0))
+        assert not is_concave_on_grid(grid**2)
+
+    def test_linear_is_both(self):
+        grid = np.linspace(0.0, 5.0, 100)
+        assert is_convex_on_grid(2.0 * grid + 1.0)
+        assert is_concave_on_grid(2.0 * grid + 1.0)
+
+    def test_short_input(self):
+        assert is_convex_on_grid(np.array([1.0, 2.0]))
+
+
+class TestFormulaReports:
+    def test_sqrt_report(self):
+        """Figure 1: for SQRT, g is convex and f(1/x) is concave everywhere."""
+        report = analyze_formula_convexity(SqrtFormula(rtt=1.0), 1.0, 500.0)
+        assert report.g_is_convex
+        assert report.f_of_inverse_is_concave
+        assert not report.f_of_inverse_is_convex
+        assert report.g_deviation_ratio == pytest.approx(1.0, abs=1e-6)
+
+    def test_pftk_simplified_report_full_range(self):
+        """PFTK-simplified: g convex (F1); f(1/x) is neither globally convex
+        nor concave over a range spanning heavy and light loss."""
+        report = analyze_formula_convexity(PftkSimplifiedFormula(rtt=1.0), 1.0, 500.0)
+        assert report.g_is_convex
+
+    def test_pftk_simplified_heavy_loss_region_is_convex(self):
+        """Figure 1 left: for heavy loss (small intervals) f(1/x) is convex."""
+        report = analyze_formula_convexity(PftkSimplifiedFormula(rtt=1.0), 1.0, 6.0)
+        assert report.f_of_inverse_is_convex
+        assert not report.f_of_inverse_is_concave
+
+    def test_pftk_simplified_light_loss_region_is_concave(self):
+        """Figure 1 left: for rare losses f(1/x) is concave."""
+        report = analyze_formula_convexity(PftkSimplifiedFormula(rtt=1.0), 100.0, 1000.0)
+        assert report.f_of_inverse_is_concave
+
+    def test_pftk_standard_not_exactly_convex_but_close(self):
+        report = analyze_formula_convexity(PftkStandardFormula(rtt=1.0), 1.0, 50.0)
+        assert not report.g_is_convex
+        assert report.g_deviation_ratio < 1.01
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            analyze_formula_convexity(SqrtFormula(rtt=1.0), 10.0, 5.0)

@@ -1,0 +1,169 @@
+"""Unit tests for the loss-event interval estimator (equation (2), TFRC weights)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    EstimatorTrace,
+    MovingAverageEstimator,
+    estimate_series,
+    tfrc_weights,
+    uniform_weights,
+)
+
+
+class TestWeightProfiles:
+    @pytest.mark.parametrize("length", [1, 2, 4, 8, 16, 32])
+    def test_tfrc_weights_sum_to_one(self, length):
+        weights = tfrc_weights(length)
+        assert weights.shape == (length,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0.0)
+
+    def test_tfrc_weights_non_increasing(self):
+        weights = tfrc_weights(8)
+        assert np.all(np.diff(weights) <= 1e-12)
+
+    def test_tfrc_weights_l8_shape(self):
+        """For L = 8 the unnormalised profile is (1,1,1,1,.8,.6,.4,.2)."""
+        weights = tfrc_weights(8)
+        expected = np.array([1, 1, 1, 1, 0.8, 0.6, 0.4, 0.2])
+        expected = expected / expected.sum()
+        assert np.allclose(weights, expected)
+
+    def test_uniform_weights(self):
+        weights = uniform_weights(5)
+        assert np.allclose(weights, 0.2)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            tfrc_weights(0)
+        with pytest.raises(ValueError):
+            uniform_weights(0)
+
+
+class TestMovingAverageEstimator:
+    def test_unbiased_for_iid_intervals(self, rng):
+        """Assumption (E): the estimator is unbiased for the mean interval."""
+        estimator = MovingAverageEstimator(tfrc_weights(8))
+        mean_interval = 20.0
+        draws = rng.exponential(mean_interval, size=50_000)
+        estimates = []
+        for value in draws:
+            estimates.append(estimator.current_estimate())
+            estimator.record_interval(value)
+        # Skip the warm-up portion dominated by the initial seed.
+        assert np.mean(estimates[100:]) == pytest.approx(mean_interval, rel=0.05)
+
+    def test_constant_input_gives_constant_estimate(self):
+        estimator = MovingAverageEstimator(tfrc_weights(4), initial_interval=7.0)
+        assert estimator.current_estimate() == pytest.approx(7.0)
+        for _ in range(10):
+            estimator.record_interval(7.0)
+        assert estimator.current_estimate() == pytest.approx(7.0)
+
+    def test_weights_are_normalised(self):
+        estimator = MovingAverageEstimator([2.0, 2.0, 2.0, 2.0])
+        assert estimator.weights.sum() == pytest.approx(1.0)
+
+    def test_record_returns_new_estimate(self):
+        estimator = MovingAverageEstimator(uniform_weights(2), initial_interval=10.0)
+        new_estimate = estimator.record_interval(30.0)
+        assert new_estimate == pytest.approx(0.5 * 30.0 + 0.5 * 10.0)
+
+    def test_history_window_slides(self):
+        estimator = MovingAverageEstimator(uniform_weights(2), initial_interval=1.0)
+        estimator.record_interval(10.0)
+        estimator.record_interval(20.0)
+        estimator.record_interval(30.0)
+        # Only the last two intervals matter.
+        assert estimator.current_estimate() == pytest.approx(25.0)
+
+    def test_provisional_estimate_only_increases(self):
+        estimator = MovingAverageEstimator(tfrc_weights(8), initial_interval=10.0)
+        fixed = estimator.current_estimate()
+        assert estimator.provisional_estimate(0.0) == pytest.approx(fixed)
+        assert estimator.provisional_estimate(5.0) == pytest.approx(fixed)
+        large = estimator.provisional_estimate(1000.0)
+        assert large > fixed
+
+    def test_provisional_matches_equation_4(self):
+        """Above the threshold, theta_hat(t) = w1 theta(t) + sum w_{l+1} theta_{n-l}."""
+        weights = tfrc_weights(4)
+        estimator = MovingAverageEstimator(weights, initial_interval=10.0)
+        open_interval = 500.0
+        tail = float(np.dot(weights[1:], [10.0, 10.0, 10.0]))
+        expected = weights[0] * open_interval + tail
+        assert estimator.provisional_estimate(open_interval) == pytest.approx(expected)
+
+    def test_activation_threshold_consistency(self):
+        """At the activation threshold the provisional estimate equals the fixed one."""
+        estimator = MovingAverageEstimator(tfrc_weights(8), initial_interval=15.0)
+        threshold = estimator.activation_threshold()
+        at_threshold = estimator.provisional_estimate(threshold)
+        assert at_threshold == pytest.approx(estimator.current_estimate(), rel=1e-9)
+        above = estimator.provisional_estimate(threshold * 1.01 + 1.0)
+        assert above > estimator.current_estimate()
+
+    def test_seed_history_pads_and_truncates(self):
+        estimator = MovingAverageEstimator(uniform_weights(4))
+        estimator.seed_history([3.0])
+        assert np.allclose(estimator.history, 3.0)
+        estimator.seed_history([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert np.allclose(estimator.history, [1.0, 2.0, 3.0, 4.0])
+
+    def test_reset_restores_seed(self):
+        estimator = MovingAverageEstimator(uniform_weights(3), initial_interval=2.0)
+        estimator.record_interval(50.0)
+        estimator.reset()
+        assert estimator.current_estimate() == pytest.approx(2.0)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MovingAverageEstimator([])
+        with pytest.raises(ValueError):
+            MovingAverageEstimator([1.0, -1.0])
+        with pytest.raises(ValueError):
+            MovingAverageEstimator([1.0], initial_interval=0.0)
+        estimator = MovingAverageEstimator([1.0])
+        with pytest.raises(ValueError):
+            estimator.record_interval(0.0)
+        with pytest.raises(ValueError):
+            estimator.provisional_estimate(-1.0)
+        with pytest.raises(ValueError):
+            estimator.seed_history([])
+
+
+class TestEstimateSeries:
+    def test_estimates_use_only_past_intervals(self):
+        intervals = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]
+        trace = estimate_series(intervals, uniform_weights(2), warmup=2)
+        # First kept interval is 30.0; its estimate is the mean of (20, 10).
+        assert trace.intervals[0] == pytest.approx(30.0)
+        assert trace.estimates[0] == pytest.approx(15.0)
+        # Next estimate is the mean of (30, 20).
+        assert trace.estimates[1] == pytest.approx(25.0)
+
+    def test_default_warmup_is_window_length(self):
+        intervals = list(range(1, 21))
+        trace = estimate_series(intervals, tfrc_weights(8))
+        assert len(trace) == 12
+
+    def test_rejects_short_sequences(self):
+        with pytest.raises(ValueError):
+            estimate_series([1.0, 2.0], tfrc_weights(8))
+
+    def test_covariance_zero_for_constant_intervals(self):
+        trace = estimate_series([5.0] * 50, tfrc_weights(4))
+        assert trace.covariance() == pytest.approx(0.0, abs=1e-12)
+        assert trace.normalized_covariance() == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_covariance_for_trending_intervals(self):
+        """A strongly trending sequence makes the estimator a good predictor."""
+        intervals = np.linspace(1.0, 100.0, 200)
+        trace = estimate_series(intervals, tfrc_weights(4))
+        assert trace.covariance() > 0.0
+
+    def test_trace_validates_shapes(self):
+        with pytest.raises(ValueError):
+            EstimatorTrace(intervals=np.array([1.0, 2.0]), estimates=np.array([1.0]))

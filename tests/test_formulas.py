@@ -1,0 +1,215 @@
+"""Unit tests for the loss-throughput formulas (paper Section II-C, Fig. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import (
+    AimdFormula,
+    PftkSimplifiedFormula,
+    PftkStandardFormula,
+    SqrtFormula,
+    default_c1,
+    default_c2,
+    make_formula,
+)
+
+
+class TestConstants:
+    def test_c1_default_b2(self):
+        assert default_c1(2) == pytest.approx(math.sqrt(4.0 / 3.0))
+
+    def test_c2_default_b2(self):
+        assert default_c2(2) == pytest.approx(1.5 * math.sqrt(3.0))
+
+    def test_c1_rejects_non_positive_b(self):
+        with pytest.raises(ValueError):
+            default_c1(0)
+
+    def test_c2_rejects_non_positive_b(self):
+        with pytest.raises(ValueError):
+            default_c2(-1)
+
+
+class TestSqrtFormula:
+    def test_matches_closed_form(self):
+        formula = SqrtFormula(rtt=0.1)
+        p = 0.02
+        expected = 1.0 / (default_c1() * 0.1 * math.sqrt(p))
+        assert formula.rate(p) == pytest.approx(expected)
+
+    def test_rate_decreases_with_loss(self):
+        formula = SqrtFormula(rtt=1.0)
+        assert formula.rate(0.01) > formula.rate(0.1) > formula.rate(0.5)
+
+    def test_rate_scales_inversely_with_rtt(self):
+        fast = SqrtFormula(rtt=0.05)
+        slow = SqrtFormula(rtt=0.5)
+        assert fast.rate(0.01) == pytest.approx(10.0 * slow.rate(0.01))
+
+    def test_derivative_matches_numerical(self):
+        formula = SqrtFormula(rtt=1.0)
+        p = 0.05
+        h = 1e-7
+        numerical = (formula.rate(p + h) - formula.rate(p - h)) / (2 * h)
+        assert formula.rate_derivative(p) == pytest.approx(numerical, rel=1e-4)
+
+    def test_vector_input_returns_array(self):
+        formula = SqrtFormula(rtt=1.0)
+        values = formula.rate(np.array([0.01, 0.1]))
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (2,)
+
+    def test_rejects_non_positive_loss_rate(self):
+        formula = SqrtFormula(rtt=1.0)
+        with pytest.raises(ValueError):
+            formula.rate(0.0)
+
+    def test_rejects_non_positive_rtt(self):
+        with pytest.raises(ValueError):
+            SqrtFormula(rtt=0.0)
+
+
+class TestPftkFormulas:
+    def test_standard_and_simplified_agree_for_small_p(self):
+        """For p <= 1/c2^2 the two PFTK variants coincide (paper remark)."""
+        standard = PftkStandardFormula(rtt=1.0)
+        simplified = PftkSimplifiedFormula(rtt=1.0)
+        threshold = 1.0 / default_c2() ** 2
+        for p in (0.01, 0.05, threshold * 0.99):
+            assert standard.rate(p) == pytest.approx(simplified.rate(p), rel=1e-12)
+
+    def test_simplified_smaller_for_large_p(self):
+        """For p > 1/c2^2 the simplified formula is smaller."""
+        standard = PftkStandardFormula(rtt=1.0)
+        simplified = PftkSimplifiedFormula(rtt=1.0)
+        threshold = 1.0 / default_c2() ** 2
+        for p in (threshold * 1.5, 0.4, 0.8):
+            assert simplified.rate(p) < standard.rate(p)
+
+    def test_pftk_below_sqrt(self):
+        """The timeout term only reduces the rate relative to SQRT."""
+        sqrt_formula = SqrtFormula(rtt=1.0)
+        for formula in (PftkStandardFormula(rtt=1.0), PftkSimplifiedFormula(rtt=1.0)):
+            for p in (0.01, 0.1, 0.3):
+                assert formula.rate(p) < sqrt_formula.rate(p)
+
+    def test_default_rto_is_four_rtts(self):
+        formula = PftkStandardFormula(rtt=0.2)
+        assert formula.rto == pytest.approx(0.8)
+
+    def test_rate_decreasing(self):
+        for formula in (PftkStandardFormula(rtt=1.0), PftkSimplifiedFormula(rtt=1.0)):
+            grid = np.linspace(0.005, 0.9, 200)
+            rates = formula.rate(grid)
+            assert np.all(np.diff(rates) < 0.0)
+
+    def test_standard_derivative_matches_numerical(self):
+        formula = PftkStandardFormula(rtt=1.0)
+        for p in (0.01, 0.1, 0.3):
+            h = 1e-7
+            numerical = (formula.rate(p + h) - formula.rate(p - h)) / (2 * h)
+            assert formula.rate_derivative(p) == pytest.approx(numerical, rel=1e-3)
+
+    def test_simplified_derivative_matches_numerical(self):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        for p in (0.01, 0.1, 0.3):
+            h = 1e-7
+            numerical = (formula.rate(p + h) - formula.rate(p - h)) / (2 * h)
+            assert formula.rate_derivative(p) == pytest.approx(numerical, rel=1e-3)
+
+    def test_converges_to_sqrt_for_rare_losses(self):
+        """SQRT is the limit of the PFTK formulas for rare losses."""
+        sqrt_formula = SqrtFormula(rtt=1.0)
+        standard = PftkStandardFormula(rtt=1.0)
+        p = 1e-6
+        assert standard.rate(p) == pytest.approx(sqrt_formula.rate(p), rel=1e-2)
+
+
+class TestDerivedMappings:
+    def test_g_is_reciprocal_of_rate_of_interval(self):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        x = 25.0
+        assert formula.g(x) == pytest.approx(1.0 / formula.rate_of_interval(x))
+
+    def test_rate_of_interval_accepts_arrays(self):
+        formula = SqrtFormula(rtt=1.0)
+        x = np.array([4.0, 9.0, 100.0])
+        values = formula.rate_of_interval(x)
+        assert values.shape == (3,)
+        assert np.all(np.diff(values) > 0.0)
+
+    def test_rate_of_interval_rejects_non_positive(self):
+        formula = SqrtFormula(rtt=1.0)
+        with pytest.raises(ValueError):
+            formula.rate_of_interval(0.0)
+
+    def test_g_second_derivative_positive_for_sqrt(self):
+        """For SQRT, g(x) = 1/f(1/x) = c1 r / sqrt(x) is convex (condition F1)."""
+        formula = SqrtFormula(rtt=1.0)
+        expected = 0.75 * formula.c1 * formula.rtt * 10.0 ** (-2.5)
+        assert formula.g_second_derivative(10.0) == pytest.approx(expected, rel=1e-3)
+        assert formula.g_second_derivative(10.0) > 0.0
+
+    def test_g_second_derivative_positive_for_pftk_at_small_interval(self):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        # Heavy loss region (small interval): strongly convex g.
+        assert formula.g_second_derivative(2.0) > 0.0
+
+
+class TestInversion:
+    def test_loss_rate_for_rate_round_trips(self):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        p = 0.07
+        rate = formula.rate(p)
+        assert formula.loss_rate_for_rate(rate) == pytest.approx(p, rel=1e-6)
+
+    def test_loss_rate_for_rate_rejects_unreachable_rate(self):
+        formula = SqrtFormula(rtt=1.0)
+        too_fast = formula.rate(1e-12) * 10.0
+        with pytest.raises(ValueError):
+            formula.loss_rate_for_rate(too_fast)
+
+    def test_loss_rate_for_rate_rejects_non_positive(self):
+        formula = SqrtFormula(rtt=1.0)
+        with pytest.raises(ValueError):
+            formula.loss_rate_for_rate(0.0)
+
+
+class TestAimdFormula:
+    def test_constant_matches_paper(self):
+        formula = AimdFormula(alpha=1.0, beta=0.5, rtt=1.0)
+        assert formula.constant == pytest.approx(math.sqrt(1.5))
+
+    def test_rejects_invalid_beta(self):
+        with pytest.raises(ValueError):
+            AimdFormula(alpha=1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            AimdFormula(alpha=1.0, beta=0.0)
+
+    def test_rate_inverse_sqrt_in_p(self):
+        formula = AimdFormula(alpha=1.0, beta=0.5, rtt=1.0)
+        assert formula.rate(0.01) == pytest.approx(2.0 * formula.rate(0.04))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("sqrt", SqrtFormula),
+            ("pftk-standard", PftkStandardFormula),
+            ("pftk_simplified", PftkSimplifiedFormula),
+            ("aimd", AimdFormula),
+        ],
+    )
+    def test_make_formula(self, name, cls):
+        assert isinstance(make_formula(name), cls)
+
+    def test_make_formula_forwards_kwargs(self):
+        formula = make_formula("sqrt", rtt=0.25)
+        assert formula.rtt == pytest.approx(0.25)
+
+    def test_make_formula_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_formula("cubic")

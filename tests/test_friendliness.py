@@ -1,0 +1,111 @@
+"""Unit tests for the TCP-friendliness breakdown (Section I-A, Figures 12-15)."""
+
+import pytest
+
+from repro.core.formulas import PftkStandardFormula
+from repro.core.friendliness import (
+    FlowObservation,
+    FriendlinessBreakdown,
+    breakdown,
+    is_tcp_friendly,
+)
+
+
+@pytest.fixture
+def formula():
+    return PftkStandardFormula(rtt=0.05)
+
+
+def make_observation(throughput, p, rtt, label=""):
+    return FlowObservation(
+        throughput=throughput, loss_event_rate=p, mean_rtt=rtt, label=label
+    )
+
+
+class TestFlowObservation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_observation(-1.0, 0.01, 0.05)
+        with pytest.raises(ValueError):
+            make_observation(10.0, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            make_observation(10.0, 1.5, 0.05)
+        with pytest.raises(ValueError):
+            make_observation(10.0, 0.01, 0.0)
+
+    def test_formula_prediction_rescales_rtt(self, formula):
+        obs_fast = make_observation(10.0, 0.01, 0.05)
+        obs_slow = make_observation(10.0, 0.01, 0.5)
+        assert obs_fast.formula_prediction(formula) == pytest.approx(
+            10.0 * obs_slow.formula_prediction(formula)
+        )
+
+    def test_prediction_at_reference_rtt_matches_formula(self, formula):
+        obs = make_observation(10.0, 0.02, formula.rtt)
+        assert obs.formula_prediction(formula) == pytest.approx(formula.rate(0.02))
+
+
+class TestBreakdown:
+    def test_all_subconditions_imply_friendliness(self, formula):
+        """The paper's argument: conservativeness + loss ordering + RTT
+        ordering + TCP obedience together imply x_bar <= x_bar'."""
+        p_source, p_tcp = 0.02, 0.02
+        rtt = 0.05
+        tcp_throughput = formula.rate(p_tcp)  # TCP exactly obeys the formula
+        source_throughput = 0.9 * formula.rate(p_source)  # conservative
+        source = make_observation(source_throughput, p_source, rtt, "tfrc")
+        tcp = make_observation(tcp_throughput, p_tcp, rtt, "tcp")
+        result = breakdown(source, tcp, formula)
+        assert result.conservative
+        assert result.loss_rate_ordered
+        assert result.rtt_ordered
+        assert result.tcp_obeys_formula
+        assert result.all_subconditions_hold
+        assert result.tcp_friendly
+
+    def test_loss_rate_deviation_breaks_friendliness(self, formula):
+        """The Claim 4 situation: the source sees a much smaller loss-event
+        rate than TCP and ends up non-TCP-friendly even though conservative."""
+        rtt = 0.05
+        p_source = 0.005
+        p_tcp = 0.005 * (16.0 / 9.0)
+        source = make_observation(0.95 * formula.rate(p_source), p_source, rtt)
+        tcp = make_observation(formula.rate(p_tcp), p_tcp, rtt)
+        result = breakdown(source, tcp, formula)
+        assert result.conservative
+        assert not result.loss_rate_ordered  # p' > p
+        assert not result.tcp_friendly  # the source out-runs TCP
+
+    def test_ratios_are_consistent(self, formula):
+        source = make_observation(50.0, 0.01, 0.06)
+        tcp = make_observation(70.0, 0.02, 0.05)
+        result = breakdown(source, tcp, formula)
+        assert result.throughput_ratio == pytest.approx(50.0 / 70.0)
+        assert result.loss_rate_ratio == pytest.approx(2.0)
+        assert result.rtt_ratio == pytest.approx(0.05 / 0.06)
+
+    def test_requires_positive_tcp_throughput(self, formula):
+        source = make_observation(50.0, 0.01, 0.05)
+        tcp = make_observation(0.0, 0.02, 0.05)
+        with pytest.raises(ValueError):
+            breakdown(source, tcp, formula)
+
+
+class TestDirectCheck:
+    def test_is_tcp_friendly(self):
+        source = make_observation(40.0, 0.01, 0.05)
+        tcp = make_observation(50.0, 0.01, 0.05)
+        assert is_tcp_friendly(source, tcp)
+        assert not is_tcp_friendly(tcp, source)
+
+    def test_slack(self):
+        source = make_observation(52.0, 0.01, 0.05)
+        tcp = make_observation(50.0, 0.01, 0.05)
+        assert not is_tcp_friendly(source, tcp)
+        assert is_tcp_friendly(source, tcp, slack=0.1)
+
+    def test_negative_slack_rejected(self):
+        source = make_observation(40.0, 0.01, 0.05)
+        tcp = make_observation(50.0, 0.01, 0.05)
+        with pytest.raises(ValueError):
+            is_tcp_friendly(source, tcp, slack=-0.1)

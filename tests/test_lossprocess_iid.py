@@ -1,0 +1,119 @@
+"""Unit tests for the i.i.d. loss-event interval models (Section V-A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.lossprocess import (
+    DeterministicIntervals,
+    EmpiricalIntervals,
+    GammaIntervals,
+    LognormalIntervals,
+    ShiftedExponentialIntervals,
+    make_rng,
+)
+
+
+class TestShiftedExponential:
+    def test_mean_matches_parameterisation(self):
+        process = ShiftedExponentialIntervals(shift=5.0, rate=0.5)
+        assert process.mean_interval == pytest.approx(7.0)
+        assert process.loss_event_rate == pytest.approx(1.0 / 7.0)
+
+    def test_from_loss_rate_and_cv(self):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 0.5)
+        assert process.mean_interval == pytest.approx(10.0)
+        assert process.coefficient_of_variation() == pytest.approx(0.5)
+
+    def test_cv_one_is_plain_exponential(self):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.2, 1.0)
+        assert process.shift == pytest.approx(0.0)
+        assert process.rate == pytest.approx(0.2)
+
+    def test_skewness_and_kurtosis_invariant(self):
+        """The paper highlights that skewness (2) and kurtosis (6) do not
+        depend on (x0, a)."""
+        for p, cv in [(0.01, 0.3), (0.1, 0.9), (0.4, 0.5)]:
+            process = ShiftedExponentialIntervals.from_loss_rate_and_cv(p, cv)
+            assert process.skewness == 2.0
+            assert process.excess_kurtosis == 6.0
+
+    def test_sample_statistics(self):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.05, 0.8)
+        sample = process.sample_intervals(200_000, make_rng(1))
+        assert np.mean(sample) == pytest.approx(20.0, rel=0.02)
+        assert np.std(sample) / np.mean(sample) == pytest.approx(0.8, rel=0.03)
+        assert np.all(sample >= process.shift)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ShiftedExponentialIntervals(shift=-1.0, rate=1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialIntervals(shift=1.0, rate=0.0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialIntervals.from_loss_rate_and_cv(0.0, 0.5)
+        with pytest.raises(ValueError):
+            ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 1.5)
+
+    def test_sample_count_validation(self):
+        process = ShiftedExponentialIntervals(shift=1.0, rate=1.0)
+        with pytest.raises(ValueError):
+            process.sample_intervals(0, make_rng(1))
+
+
+class TestDeterministic:
+    def test_constant_samples(self):
+        process = DeterministicIntervals(12.5)
+        sample = process.sample_intervals(100, make_rng(0))
+        assert np.all(sample == 12.5)
+        assert process.coefficient_of_variation() == 0.0
+        assert process.loss_event_rate == pytest.approx(0.08)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            DeterministicIntervals(0.0)
+
+
+class TestGamma:
+    def test_moments(self):
+        process = GammaIntervals(mean=30.0, cv=0.4)
+        sample = process.sample_intervals(200_000, make_rng(2))
+        assert np.mean(sample) == pytest.approx(30.0, rel=0.02)
+        assert np.std(sample) / np.mean(sample) == pytest.approx(0.4, rel=0.03)
+
+    def test_shape_scale_relation(self):
+        process = GammaIntervals(mean=10.0, cv=0.5)
+        assert process.shape == pytest.approx(4.0)
+        assert process.scale == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GammaIntervals(mean=0.0, cv=0.5)
+        with pytest.raises(ValueError):
+            GammaIntervals(mean=1.0, cv=0.0)
+
+
+class TestLognormal:
+    def test_moments(self):
+        process = LognormalIntervals(mean=15.0, cv=0.7)
+        sample = process.sample_intervals(300_000, make_rng(3))
+        assert np.mean(sample) == pytest.approx(15.0, rel=0.02)
+        assert np.std(sample) / np.mean(sample) == pytest.approx(0.7, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalIntervals(mean=-1.0, cv=0.5)
+
+
+class TestEmpirical:
+    def test_resamples_from_observations(self):
+        observations = [5.0, 10.0, 15.0]
+        process = EmpiricalIntervals(observations)
+        sample = process.sample_intervals(1_000, make_rng(4))
+        assert set(np.unique(sample)).issubset(set(observations))
+        assert process.mean_interval == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalIntervals([])
+        with pytest.raises(ValueError):
+            EmpiricalIntervals([1.0, 0.0])

@@ -1,0 +1,124 @@
+"""Unit tests for the measurement layer on synthetic flow records."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import PftkStandardFormula
+from repro.measurement import (
+    estimator_trace_from_flow,
+    flow_observation,
+    normalized_covariance_from_flow,
+    summarize_flow,
+)
+from repro.simulator.flowstats import FlowStats
+
+
+def make_flow(intervals, rtts=(0.05,), label="tfrc", packets_sent=None):
+    flow = FlowStats(flow_id=0, label=label)
+    flow.loss_event_intervals = list(intervals)
+    flow.loss_event_times = list(np.cumsum(np.asarray(intervals) * 0.01))
+    flow.rtt_samples = list(rtts)
+    flow.packets_sent = packets_sent if packets_sent is not None else int(sum(intervals))
+    flow.packets_acked = flow.packets_sent
+    return flow
+
+
+class TestFlowStats:
+    def test_loss_event_rate_from_intervals(self):
+        flow = make_flow([10.0, 30.0])
+        assert flow.loss_event_rate() == pytest.approx(1.0 / 20.0)
+
+    def test_loss_event_rate_fallback_on_single_event(self):
+        flow = FlowStats(flow_id=0, label="tcp")
+        flow.packets_sent = 200
+        flow.loss_event_times = [1.0]
+        assert flow.loss_event_rate() == pytest.approx(1.0 / 200.0)
+
+    def test_loss_event_rate_zero_without_events(self):
+        flow = FlowStats(flow_id=0, label="tcp")
+        flow.packets_sent = 100
+        assert flow.loss_event_rate() == 0.0
+
+    def test_throughput(self):
+        flow = make_flow([10.0, 10.0], packets_sent=400)
+        assert flow.throughput(10.0, use_acked=False) == pytest.approx(40.0)
+        with pytest.raises(ValueError):
+            flow.throughput(0.0)
+
+
+class TestEstimatorReplay:
+    def test_replay_needs_enough_intervals(self):
+        flow = make_flow([10.0] * 5)
+        assert estimator_trace_from_flow(flow, history_length=8) is None
+
+    def test_replay_constant_intervals_zero_covariance(self):
+        flow = make_flow([20.0] * 40)
+        trace = estimator_trace_from_flow(flow, history_length=8)
+        assert trace is not None
+        assert trace.normalized_covariance() == pytest.approx(0.0, abs=1e-12)
+        assert normalized_covariance_from_flow(flow) == pytest.approx(0.0, abs=1e-12)
+
+    def test_replay_unavailable_returns_nan(self):
+        flow = make_flow([10.0] * 3)
+        assert math.isnan(normalized_covariance_from_flow(flow))
+
+    def test_iid_intervals_small_normalized_covariance(self, rng):
+        intervals = rng.exponential(25.0, size=3_000)
+        flow = make_flow(intervals)
+        value = normalized_covariance_from_flow(flow, history_length=8)
+        assert abs(value) < 0.1
+
+
+class TestSummarizeFlow:
+    def test_summary_fields(self):
+        formula = PftkStandardFormula(rtt=0.05)
+        flow = make_flow([20.0] * 30, rtts=[0.05, 0.07], packets_sent=900)
+        summary = summarize_flow(flow, duration=30.0, formula=formula)
+        assert summary.label == "tfrc"
+        assert summary.num_loss_events == 30
+        assert summary.loss_event_rate == pytest.approx(0.05)
+        assert summary.mean_interval == pytest.approx(20.0)
+        assert summary.interval_cv == pytest.approx(0.0)
+        assert summary.mean_rtt == pytest.approx(0.06)
+        assert summary.throughput == pytest.approx(30.0)
+        assert not math.isnan(summary.normalized_throughput)
+
+    def test_summary_without_formula_has_nan_normalization(self):
+        flow = make_flow([20.0] * 30)
+        summary = summarize_flow(flow, duration=10.0)
+        assert math.isnan(summary.normalized_throughput)
+
+    def test_normalized_throughput_uses_measured_rtt(self):
+        formula = PftkStandardFormula(rtt=0.05)
+        fast = summarize_flow(make_flow([20.0] * 30, rtts=[0.05]), 10.0, formula)
+        slow = summarize_flow(make_flow([20.0] * 30, rtts=[0.5]), 10.0, formula)
+        # Same throughput against a 10x smaller prediction: 10x larger ratio.
+        assert slow.normalized_throughput == pytest.approx(
+            10.0 * fast.normalized_throughput, rel=1e-9
+        )
+
+
+class TestFlowObservation:
+    def test_uses_fallback_rtt_when_no_samples(self):
+        flow = make_flow([20.0] * 10, rtts=[])
+        observation = flow_observation(flow, duration=10.0, fallback_rtt=0.123)
+        assert observation.mean_rtt == pytest.approx(0.123)
+
+    def test_loss_rate_fallback_when_no_events(self):
+        flow = FlowStats(flow_id=3, label="tcp")
+        flow.packets_sent = 50
+        flow.packets_acked = 50
+        observation = flow_observation(flow, duration=10.0, fallback_rtt=0.05)
+        assert observation.loss_event_rate == pytest.approx(1.0 / 50.0)
+
+    def test_label_override(self):
+        flow = make_flow([20.0] * 10)
+        observation = flow_observation(flow, 10.0, 0.05, label="probe")
+        assert observation.label == "probe"
+
+    def test_duration_validation(self):
+        flow = make_flow([20.0] * 10)
+        with pytest.raises(ValueError):
+            flow_observation(flow, duration=0.0, fallback_rtt=0.05)

@@ -1,0 +1,116 @@
+"""Unit tests for the round-trip time estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.rtt import EventAverageRtt, EwmaRttEstimator, JacobsonRttEstimator
+
+
+class TestEwmaRttEstimator:
+    def test_first_sample_sets_estimate(self):
+        estimator = EwmaRttEstimator(weight=0.9)
+        assert estimator.estimate is None
+        assert estimator.update(0.1) == pytest.approx(0.1)
+
+    def test_smoothing(self):
+        estimator = EwmaRttEstimator(weight=0.9)
+        estimator.update(0.1)
+        new_estimate = estimator.update(0.2)
+        assert new_estimate == pytest.approx(0.9 * 0.1 + 0.1 * 0.2)
+
+    def test_converges_to_constant_input(self):
+        estimator = EwmaRttEstimator(weight=0.9)
+        estimator.update(1.0)
+        for _ in range(200):
+            estimator.update(0.05)
+        assert estimator.estimate == pytest.approx(0.05, rel=1e-3)
+
+    def test_reset(self):
+        estimator = EwmaRttEstimator()
+        estimator.update(0.1)
+        estimator.reset()
+        assert estimator.estimate is None
+        assert estimator.num_samples == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaRttEstimator(weight=1.0)
+        estimator = EwmaRttEstimator()
+        with pytest.raises(ValueError):
+            estimator.update(0.0)
+
+
+class TestJacobsonRttEstimator:
+    def test_first_sample_initialisation(self):
+        estimator = JacobsonRttEstimator()
+        estimator.update(0.2)
+        assert estimator.srtt == pytest.approx(0.2)
+        assert estimator.rttvar == pytest.approx(0.1)
+        assert estimator.rto == pytest.approx(0.2 + 4 * 0.1)
+
+    def test_rto_floor(self):
+        estimator = JacobsonRttEstimator(min_rto=0.2)
+        for _ in range(100):
+            estimator.update(0.01)
+        assert estimator.rto == pytest.approx(0.2)
+
+    def test_rto_before_any_sample_is_conservative(self):
+        estimator = JacobsonRttEstimator(min_rto=0.2)
+        assert estimator.rto >= 0.2
+
+    def test_variance_tracks_jitter(self):
+        smooth = JacobsonRttEstimator()
+        jittery = JacobsonRttEstimator()
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            smooth.update(0.1)
+            jittery.update(0.1 + float(rng.uniform(0.0, 0.1)))
+        assert jittery.rttvar > smooth.rttvar
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JacobsonRttEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            JacobsonRttEstimator(min_rto=2.0, max_rto=1.0)
+        estimator = JacobsonRttEstimator()
+        with pytest.raises(ValueError):
+            estimator.update(-0.1)
+
+
+class TestEventAverageRtt:
+    def test_keeps_one_sample_per_round(self):
+        average = EventAverageRtt()
+        # Three samples within the same round: only the first is kept.
+        assert average.offer(0.1, now=0.0)
+        assert not average.offer(0.2, now=0.05)
+        assert not average.offer(0.3, now=0.09)
+        # After the round ends a new sample opens the next round.
+        assert average.offer(0.2, now=0.11)
+        assert average.num_rounds == 2
+        assert average.mean == pytest.approx(0.15)
+
+    def test_event_average_differs_from_per_packet_mean(self):
+        """Many per-packet samples in a congested round must not dominate."""
+        average = EventAverageRtt()
+        samples = []
+        now = 0.0
+        # Round 1: 10 packets all measuring 1.0 s.
+        for _ in range(10):
+            average.offer(1.0, now=now)
+            samples.append(1.0)
+            now += 0.01
+        # Round 2 (after the first round's RTT): one packet at 0.1 s.
+        now = 1.5
+        average.offer(0.1, now=now)
+        samples.append(0.1)
+        per_packet_mean = sum(samples) / len(samples)
+        assert average.mean == pytest.approx(0.55)
+        assert abs(average.mean - per_packet_mean) > 0.2
+
+    def test_empty_average_is_zero(self):
+        assert EventAverageRtt().mean == 0.0
+
+    def test_validation(self):
+        average = EventAverageRtt()
+        with pytest.raises(ValueError):
+            average.offer(0.0, now=0.0)

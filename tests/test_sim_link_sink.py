@@ -1,0 +1,137 @@
+"""Unit tests for the bottleneck link and the receiver."""
+
+import pytest
+
+from repro.simulator import BottleneckLink, DropTailQueue, Simulator
+from repro.simulator.packets import Ack, Packet
+from repro.simulator.sink import Receiver
+
+
+def make_packet(flow_id=0, sequence=0, size=1000, time=0.0):
+    return Packet(flow_id=flow_id, sequence=sequence, size_bytes=size, send_time=time)
+
+
+class TestBottleneckLink:
+    def test_delivery_after_service_and_propagation(self):
+        simulator = Simulator(seed=1)
+        link = BottleneckLink(
+            simulator, DropTailQueue(10), capacity_bps=8000.0, propagation_delay=0.5
+        )
+        arrivals = []
+        link.attach_receiver(0, lambda packet: arrivals.append(simulator.now))
+        link.send(make_packet(size=1000))  # service time = 8000 bits / 8000 bps = 1 s
+        simulator.run(until=5.0)
+        assert arrivals == pytest.approx([1.5])
+
+    def test_packets_served_in_fifo_order_back_to_back(self):
+        simulator = Simulator(seed=1)
+        link = BottleneckLink(
+            simulator, DropTailQueue(10), capacity_bps=8000.0, propagation_delay=0.0
+        )
+        arrivals = []
+        link.attach_receiver(0, lambda packet: arrivals.append((packet.sequence, simulator.now)))
+        link.send(make_packet(sequence=0))
+        link.send(make_packet(sequence=1))
+        simulator.run(until=5.0)
+        assert arrivals[0] == (0, pytest.approx(1.0))
+        assert arrivals[1] == (1, pytest.approx(2.0))
+
+    def test_drop_monitor_invoked(self):
+        simulator = Simulator(seed=1)
+        link = BottleneckLink(
+            simulator, DropTailQueue(1), capacity_bps=8000.0, propagation_delay=0.0
+        )
+        drops = []
+        link.add_drop_monitor(lambda packet, time: drops.append(packet.sequence))
+        link.attach_receiver(0, lambda packet: None)
+        # The first packet goes straight into service, the second occupies the
+        # single buffer slot, further arrivals overflow.
+        assert link.send(make_packet(sequence=0))
+        assert link.send(make_packet(sequence=1))
+        assert not link.send(make_packet(sequence=2))
+        assert not link.send(make_packet(sequence=3))
+        assert drops == [2, 3]
+
+    def test_counters(self):
+        simulator = Simulator(seed=1)
+        link = BottleneckLink(
+            simulator, DropTailQueue(10), capacity_bps=80_000.0, propagation_delay=0.0
+        )
+        link.attach_receiver(0, lambda packet: None)
+        for sequence in range(5):
+            link.send(make_packet(sequence=sequence))
+        simulator.run(until=10.0)
+        assert link.delivered_packets == 5
+        assert link.delivered_bytes == 5000
+
+    def test_parameter_validation(self):
+        simulator = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            BottleneckLink(simulator, DropTailQueue(10), capacity_bps=0.0,
+                           propagation_delay=0.0)
+        with pytest.raises(ValueError):
+            BottleneckLink(simulator, DropTailQueue(10), capacity_bps=1.0,
+                           propagation_delay=-1.0)
+
+
+class TestReceiver:
+    def _collect_acks(self, simulator, reverse_delay=0.0):
+        acks = []
+        receiver = Receiver(simulator, flow_id=0, reverse_delay=reverse_delay,
+                            ack_callback=acks.append)
+        return receiver, acks
+
+    def test_in_order_packets_advance_cumulative_ack(self):
+        simulator = Simulator(seed=1)
+        receiver, acks = self._collect_acks(simulator)
+        for sequence in range(3):
+            receiver.on_packet(make_packet(sequence=sequence))
+        simulator.run(until=1.0)
+        assert [ack.cumulative_sequence for ack in acks] == [1, 2, 3]
+
+    def test_gap_produces_duplicate_cumulative_acks(self):
+        simulator = Simulator(seed=1)
+        receiver, acks = self._collect_acks(simulator)
+        receiver.on_packet(make_packet(sequence=0))
+        receiver.on_packet(make_packet(sequence=2))  # 1 missing
+        receiver.on_packet(make_packet(sequence=3))
+        simulator.run(until=1.0)
+        assert [ack.cumulative_sequence for ack in acks] == [1, 1, 1]
+        # Filling the gap jumps the cumulative ack forward.
+        receiver.on_packet(make_packet(sequence=1))
+        simulator.run(until=2.0)
+        assert acks[-1].cumulative_sequence == 4
+
+    def test_acks_echo_sequence_and_send_time(self):
+        simulator = Simulator(seed=1)
+        receiver, acks = self._collect_acks(simulator)
+        receiver.on_packet(make_packet(sequence=5, time=0.25))
+        simulator.run(until=1.0)
+        assert acks[0].echoed_sequence == 5
+        assert acks[0].echoed_send_time == pytest.approx(0.25)
+
+    def test_ack_delayed_by_reverse_path(self):
+        simulator = Simulator(seed=1)
+        times = []
+        receiver = Receiver(
+            simulator, flow_id=0, reverse_delay=0.2,
+            ack_callback=lambda ack: times.append(simulator.now),
+        )
+        simulator.schedule(1.0, lambda: receiver.on_packet(make_packet()))
+        simulator.run(until=3.0)
+        assert times == pytest.approx([1.2])
+
+    def test_statistics(self):
+        simulator = Simulator(seed=1)
+        receiver, _ = self._collect_acks(simulator)
+        for sequence in range(4):
+            receiver.on_packet(make_packet(sequence=sequence, size=500))
+        assert receiver.packets_received == 4
+        assert receiver.bytes_received == 2000
+        assert receiver.goodput(2.0) == pytest.approx(2.0)
+
+    def test_goodput_validation(self):
+        simulator = Simulator(seed=1)
+        receiver, _ = self._collect_acks(simulator)
+        with pytest.raises(ValueError):
+            receiver.goodput(0.0)

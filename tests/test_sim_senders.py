@@ -1,0 +1,231 @@
+"""Unit tests for the TCP, TFRC, probe and audio senders."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulas import PftkSimplifiedFormula, PftkStandardFormula, SqrtFormula
+from repro.simulator import (
+    AudioSource,
+    BottleneckLink,
+    CbrSource,
+    DropTailQueue,
+    PoissonSource,
+    Simulator,
+    TcpSender,
+    TfrcSender,
+)
+
+
+def build_link(simulator, capacity_mbps=1.0, buffer_packets=20, propagation=0.01):
+    queue = DropTailQueue(buffer_packets)
+    return BottleneckLink(
+        simulator,
+        queue,
+        capacity_bps=capacity_mbps * 1e6,
+        propagation_delay=propagation,
+    )
+
+
+class TestTcpSender:
+    def test_uncongested_flow_has_no_loss_events(self):
+        """With a huge buffer and a window cap, TCP loses nothing."""
+        simulator = Simulator(seed=1)
+        link = build_link(simulator, capacity_mbps=10.0, buffer_packets=10_000)
+        sender = TcpSender(simulator, link, flow_id=0, access_delay=0.04,
+                           max_window=20.0)
+        simulator.run(until=20.0)
+        assert sender.stats.packets_sent > 100
+        assert sender.stats.packets_lost == 0
+        assert sender.stats.loss_event_times == []
+
+    def test_congested_flow_sees_losses_and_caps_rate(self):
+        simulator = Simulator(seed=2)
+        link = build_link(simulator, capacity_mbps=0.4, buffer_packets=10)
+        sender = TcpSender(simulator, link, flow_id=0, access_delay=0.04)
+        simulator.run(until=60.0)
+        capacity_pkts = 0.4e6 / (8 * 1000)
+        throughput = sender.stats.packets_acked / 60.0
+        assert sender.stats.packets_lost > 0
+        assert len(sender.stats.loss_event_times) > 5
+        assert throughput <= capacity_pkts * 1.05
+        assert throughput > 0.5 * capacity_pkts
+
+    def test_rtt_samples_reflect_path_delay(self):
+        simulator = Simulator(seed=3)
+        link = build_link(simulator, capacity_mbps=10.0, buffer_packets=1000,
+                          propagation=0.02)
+        sender = TcpSender(simulator, link, flow_id=0, access_delay=0.04,
+                           max_window=10.0)
+        simulator.run(until=10.0)
+        assert sender.stats.rtt_samples
+        # RTT >= propagation + access delay; queueing adds on top.
+        assert min(sender.stats.rtt_samples) >= 0.06 - 1e-9
+        assert sender.srtt is not None
+
+    def test_window_grows_in_slow_start(self):
+        simulator = Simulator(seed=4)
+        link = build_link(simulator, capacity_mbps=100.0, buffer_packets=10_000)
+        sender = TcpSender(simulator, link, flow_id=0, access_delay=0.02,
+                           initial_ssthresh=1000.0, max_window=500.0)
+        simulator.run(until=2.0)
+        assert sender.cwnd > 10.0
+
+    def test_loss_events_aggregate_within_rtt(self):
+        """Multiple drops within one RTT count as a single loss event."""
+        simulator = Simulator(seed=5)
+        link = build_link(simulator, capacity_mbps=0.3, buffer_packets=4)
+        sender = TcpSender(simulator, link, flow_id=0, access_delay=0.05)
+        simulator.run(until=60.0)
+        assert len(sender.stats.loss_event_times) <= sender.stats.packets_lost
+
+    def test_parameter_validation(self):
+        simulator = Simulator(seed=6)
+        link = build_link(simulator)
+        with pytest.raises(ValueError):
+            TcpSender(simulator, link, flow_id=0, access_delay=-0.1)
+        with pytest.raises(ValueError):
+            TcpSender(simulator, link, flow_id=0, access_delay=0.1, packet_size=0)
+
+
+class TestTfrcSender:
+    def test_congested_flow_tracks_capacity(self):
+        simulator = Simulator(seed=7)
+        link = build_link(simulator, capacity_mbps=0.4, buffer_packets=10)
+        formula = PftkStandardFormula(rtt=0.05)
+        sender = TfrcSender(simulator, link, flow_id=0, formula=formula,
+                            access_delay=0.04)
+        simulator.run(until=80.0)
+        capacity_pkts = 0.4e6 / (8 * 1000)
+        throughput = sender.stats.packets_acked / 80.0
+        assert sender.stats.packets_lost > 0
+        assert len(sender.stats.loss_event_intervals) > 5
+        assert throughput <= capacity_pkts * 1.05
+        assert throughput > 0.3 * capacity_pkts
+
+    def test_loss_event_rate_positive_under_congestion(self):
+        simulator = Simulator(seed=8)
+        link = build_link(simulator, capacity_mbps=0.3, buffer_packets=8)
+        sender = TfrcSender(simulator, link, flow_id=0,
+                            formula=PftkStandardFormula(rtt=0.05),
+                            access_delay=0.04)
+        simulator.run(until=60.0)
+        assert sender.stats.loss_event_rate() > 0.0
+        assert sender.rtt_estimate is not None
+
+    def test_rate_capped_at_max_rate(self):
+        simulator = Simulator(seed=9)
+        link = build_link(simulator, capacity_mbps=100.0, buffer_packets=10_000)
+        sender = TfrcSender(simulator, link, flow_id=0,
+                            formula=PftkStandardFormula(rtt=0.05),
+                            access_delay=0.04, max_rate=50.0)
+        simulator.run(until=20.0)
+        assert sender.rate <= 50.0 + 1e-9
+        assert sender.stats.packets_sent <= 50.0 * 20.0 * 1.2
+
+    def test_basic_mode_disables_between_loss_increase(self):
+        """With comprehensive=False the rate only changes at loss events."""
+        simulator = Simulator(seed=10)
+        link = build_link(simulator, capacity_mbps=0.4, buffer_packets=10)
+        sender = TfrcSender(simulator, link, flow_id=0,
+                            formula=PftkStandardFormula(rtt=0.05),
+                            access_delay=0.04, comprehensive=False)
+        simulator.run(until=40.0)
+        assert sender.stats.packets_sent > 100
+
+    def test_parameter_validation(self):
+        simulator = Simulator(seed=11)
+        link = build_link(simulator)
+        formula = PftkStandardFormula(rtt=0.05)
+        with pytest.raises(ValueError):
+            TfrcSender(simulator, link, flow_id=0, formula=formula,
+                       access_delay=-1.0)
+        with pytest.raises(ValueError):
+            TfrcSender(simulator, link, flow_id=0, formula=formula,
+                       access_delay=0.1, max_rate=0.0)
+
+
+class TestProbeSources:
+    def test_poisson_rate_close_to_nominal(self):
+        simulator = Simulator(seed=12)
+        link = build_link(simulator, capacity_mbps=10.0, buffer_packets=1000)
+        probe = PoissonSource(simulator, link, flow_id=0, rate=20.0,
+                              access_delay=0.02)
+        simulator.run(until=50.0)
+        assert probe.stats.packets_sent == pytest.approx(20.0 * 50.0, rel=0.1)
+        assert probe.stats.packets_lost == 0
+
+    def test_cbr_rate_is_deterministic(self):
+        simulator = Simulator(seed=13)
+        link = build_link(simulator, capacity_mbps=10.0, buffer_packets=1000)
+        probe = CbrSource(simulator, link, flow_id=0, rate=10.0, access_delay=0.02)
+        simulator.run(until=10.0)
+        assert probe.stats.packets_sent == pytest.approx(100, abs=2)
+
+    def test_probe_records_loss_events_under_congestion(self):
+        simulator = Simulator(seed=14)
+        link = build_link(simulator, capacity_mbps=0.2, buffer_packets=5)
+        # Probe alone overloading the link.
+        probe = PoissonSource(simulator, link, flow_id=0, rate=60.0,
+                              access_delay=0.02)
+        simulator.run(until=30.0)
+        assert probe.stats.packets_lost > 0
+        assert probe.stats.loss_event_rate() > 0.0
+
+    def test_rate_validation(self):
+        simulator = Simulator(seed=15)
+        link = build_link(simulator)
+        with pytest.raises(ValueError):
+            PoissonSource(simulator, link, flow_id=0, rate=0.0, access_delay=0.02)
+
+
+class TestAudioSource:
+    def _run(self, formula, loss_probability, seed=16, duration=400.0,
+             history_length=4):
+        simulator = Simulator(seed=seed)
+        source = AudioSource(
+            simulator,
+            loss_probability=loss_probability,
+            formula=formula,
+            history_length=history_length,
+            packet_period=0.002,
+        )
+        simulator.run(until=duration)
+        return source
+
+    def test_loss_event_rate_matches_dropper(self):
+        source = self._run(SqrtFormula(rtt=1.0), loss_probability=0.1)
+        assert source.stats.loss_event_rate() == pytest.approx(0.1, rel=0.1)
+
+    def test_sqrt_close_to_formula(self):
+        """Claim 2, conservative branch: with SQRT (f(1/x) concave) and
+        rate-independent losses the normalized throughput stays near/below 1."""
+        source = self._run(SqrtFormula(rtt=1.0), loss_probability=0.05)
+        assert source.normalized_throughput() < 1.1
+
+    def test_pftk_non_conservative_under_heavy_loss(self):
+        """Claim 2, non-conservative branch: PFTK under heavy loss
+        (convex region) overshoots f(p)."""
+        pftk = self._run(PftkSimplifiedFormula(rtt=1.0), loss_probability=0.25)
+        sqrt = self._run(SqrtFormula(rtt=1.0), loss_probability=0.25)
+        assert pftk.normalized_throughput() > sqrt.normalized_throughput()
+        assert pftk.normalized_throughput() > 1.0
+
+    def test_rate_samples_recorded(self):
+        source = self._run(SqrtFormula(rtt=1.0), loss_probability=0.1, duration=50.0)
+        assert len(source.rate_samples) == source.stats.packets_sent
+        assert source.mean_rate() > 0.0
+
+    def test_normalized_throughput_requires_loss_events(self):
+        simulator = Simulator(seed=17)
+        source = AudioSource(simulator, loss_probability=0.5,
+                             formula=SqrtFormula(rtt=1.0))
+        with pytest.raises(ValueError):
+            source.normalized_throughput()
+
+    def test_parameter_validation(self):
+        simulator = Simulator(seed=18)
+        with pytest.raises(ValueError):
+            AudioSource(simulator, loss_probability=0.0, formula=SqrtFormula(rtt=1.0))
+        with pytest.raises(ValueError):
+            AudioSource(simulator, loss_probability=0.1, formula=SqrtFormula(rtt=1.0),
+                        packet_period=0.0)
