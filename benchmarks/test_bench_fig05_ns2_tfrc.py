@@ -6,38 +6,33 @@ x_bar/f(p) of TFRC and the normalised covariance cov[theta_0, theta_hat_0] p^2
 against the loss-event rate p (which grows with the number of competing
 connections).  Expected shape: the normalized throughput falls below one
 and decreases as p grows; the normalised covariance stays close to zero.
+
+The scenario grid is the ``fig5-ns2`` campaign preset, executed through
+the :mod:`repro.experiments` runner.
 """
 
 import math
 
-from repro.core import PftkStandardFormula
-from repro.measurement import scenario_summaries
-from repro.simulator import ns2_config, run_dumbbell
+from repro.experiments import ExperimentRunner, preset
 
 from conftest import print_table
 
-CONNECTION_COUNTS = (1, 2, 4, 8)
-DURATION = 120.0
-
 
 def generate_figure5():
+    campaign = ExperimentRunner().run(preset("fig5-ns2"))
+    campaign.raise_errors()
     rows = []
-    for count in CONNECTION_COUNTS:
-        config = ns2_config(num_connections=count, duration=DURATION, seed=100 + count)
-        result = run_dumbbell(config)
-        formula = PftkStandardFormula(rtt=config.rtt_seconds)
-        summaries = [
-            s for s in scenario_summaries(result, formula=formula) if s.label == "tfrc"
-        ]
-        for summary in summaries:
-            if summary.loss_event_rate <= 0.0:
+    for result in campaign.results:
+        count = result.point.axes["num_connections"]
+        for flow in result.value["flows"]:
+            if flow["label"] != "tfrc" or flow["loss_event_rate"] <= 0.0:
                 continue
             rows.append(
                 [
                     count,
-                    summary.loss_event_rate,
-                    summary.normalized_throughput,
-                    summary.normalized_covariance,
+                    flow["loss_event_rate"],
+                    flow["normalized_throughput"],
+                    flow["normalized_covariance"],
                 ]
             )
     return rows
@@ -50,7 +45,8 @@ def test_fig05_tfrc_over_red(run_once):
         ["connections", "p", "x_bar/f(p)", "norm. cov"],
         rows,
     )
-    assert len(rows) >= len(CONNECTION_COUNTS)
+    connection_counts = {row[0] for row in rows}
+    assert len(rows) >= len(connection_counts) >= 4
     loss_rates = [row[1] for row in rows]
     normalized = [row[2] for row in rows]
     covariances = [row[3] for row in rows if not math.isnan(row[3])]

@@ -4,39 +4,30 @@ The paper plots the TFRC/TCP throughput ratio against the loss-event rate
 for the DropTail-100 and RED lab configurations (comprehensive control
 disabled, PFTK-standard, L = 8).  The ratios scatter around one, dipping
 below it at heavy loss.
+
+The scenario grid (queue discipline x connection count) is the
+``fig16-lab`` campaign preset, executed through the
+:mod:`repro.experiments` runner.
 """
 
-from repro.analysis import pair_breakdowns
-from repro.simulator import lab_config, run_dumbbell
+from repro.experiments import ExperimentRunner, preset
 
 from conftest import print_table
 
-CONNECTIONS = (1, 2, 4, 6)
-DURATION = 150.0
-
 
 def generate_figure16():
+    campaign = ExperimentRunner().run(preset("fig16-lab"))
+    campaign.raise_errors()
     rows = []
-    for queue_label, queue_type, buffer_packets in (
-        ("DropTail 100", "droptail", 100),
-        ("RED", "red", None),
-    ):
-        for count in CONNECTIONS:
-            config = lab_config(
-                count,
-                queue_type=queue_type,
-                buffer_packets=buffer_packets if buffer_packets else 100,
-                duration=DURATION,
-                seed=1600 + count,
+    for result in campaign.results:
+        queue_type = result.point.axes["queue_type"]
+        queue_label = "DropTail 100" if queue_type == "droptail" else "RED"
+        count = result.point.axes["num_connections"]
+        for pair in result.value["pairs"]:
+            rows.append(
+                [queue_label, count, pair["tfrc_loss_event_rate"],
+                 pair["throughput_ratio"]]
             )
-            if queue_type == "red":
-                config.buffer_packets = None
-            result = run_dumbbell(config)
-            for pair in pair_breakdowns(result):
-                rows.append(
-                    [queue_label, count, pair.tfrc.loss_event_rate,
-                     pair.breakdown.throughput_ratio]
-                )
     return rows
 
 

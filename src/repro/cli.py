@@ -9,6 +9,14 @@ regenerated without writing Python::
     python -m repro.cli claim4 --beta 0.5
     python -m repro.cli audio --loss-probability 0.2
 
+Whole campaigns (grids of scenarios run in parallel with a persistent
+result store) go through the ``experiments`` sub-command::
+
+    python -m repro.cli experiments list
+    python -m repro.cli experiments show fig3-pftk
+    python -m repro.cli experiments run fig3-pftk --workers 4 --store results.jsonl
+    python -m repro.cli experiments run --spec my_campaign.json
+
 Each sub-command prints a small table to standard output; the benchmark
 harness under ``benchmarks/`` remains the canonical way to regenerate every
 figure with its shape checks.
@@ -28,6 +36,7 @@ from .analysis import (
     throughput_ratio,
 )
 from .core import SqrtFormula, make_formula
+from .experiments import ExperimentRunner, ExperimentSpec, preset, preset_names
 from .montecarlo import sweep_loss_event_rate
 from .simulator import AudioSource, Simulator, ns2_config, run_dumbbell
 
@@ -150,6 +159,69 @@ def _command_audio(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec(arguments: argparse.Namespace) -> ExperimentSpec:
+    if getattr(arguments, "spec", None):
+        with open(arguments.spec, "r", encoding="utf-8") as handle:
+            return ExperimentSpec.from_json(handle.read())
+    if getattr(arguments, "preset", None):
+        return preset(arguments.preset)
+    raise SystemExit("experiments: name a preset or pass --spec FILE")
+
+
+def _command_experiments_list(arguments: argparse.Namespace) -> int:
+    rows = []
+    for name in preset_names():
+        spec = preset(name)
+        rows.append([name, spec.runner, spec.num_points(), spec.description])
+    print("Available experiment presets")
+    _print_rows(["preset", "runner", "points", "description"], rows)
+    return 0
+
+
+def _command_experiments_show(arguments: argparse.Namespace) -> int:
+    spec = _load_spec(arguments)
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def _command_experiments_run(arguments: argparse.Namespace) -> int:
+    spec = _load_spec(arguments)
+
+    def progress(completed: int, total: int, result) -> None:
+        if not arguments.quiet:
+            print(
+                f"[{completed}/{total}] point {result.point.index} "
+                f"{result.point.axes} -> {result.status}"
+            )
+
+    runner = ExperimentRunner(
+        workers=arguments.workers, store=arguments.store, progress=progress
+    )
+    campaign = runner.run(spec, force=arguments.force)
+
+    rows = []
+    for result in campaign.results:
+        summary = ""
+        if result.value:
+            scalars = [
+                f"{name}={value:.4f}"
+                for name, value in result.value.items()
+                if isinstance(value, float)
+            ]
+            summary = " ".join(scalars[:3])
+        elif result.error:
+            summary = result.error
+        axes = " ".join(f"{axis}={value}" for axis, value in result.point.axes.items())
+        rows.append([result.point.index, axes, result.status, summary])
+    print(
+        f"Campaign {spec.name!r} ({spec.runner}): {campaign.num_executed} run, "
+        f"{campaign.num_cached} cached, {campaign.num_failed} failed"
+        + (f"; store: {arguments.store}" if arguments.store else "")
+    )
+    _print_rows(["point", "axes", "status", "result"], rows)
+    return 1 if campaign.num_failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser with all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -196,6 +268,43 @@ def build_parser() -> argparse.ArgumentParser:
     audio.add_argument("--duration", type=float, default=200.0)
     audio.add_argument("--seed", type=int, default=1)
     audio.set_defaults(handler=_command_audio)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="declarative experiment campaigns"
+    )
+    experiments_sub = experiments.add_subparsers(dest="experiments_command",
+                                                 required=True)
+
+    experiments_list = experiments_sub.add_parser(
+        "list", help="list the named figure presets"
+    )
+    experiments_list.set_defaults(handler=_command_experiments_list)
+
+    experiments_show = experiments_sub.add_parser(
+        "show", help="print a campaign spec as JSON"
+    )
+    experiments_show.add_argument("preset", nargs="?", default=None,
+                                  help="preset name (see 'experiments list')")
+    experiments_show.add_argument("--spec", default=None,
+                                  help="path to a spec JSON file")
+    experiments_show.set_defaults(handler=_command_experiments_show)
+
+    experiments_run = experiments_sub.add_parser(
+        "run", help="expand a campaign and run its points"
+    )
+    experiments_run.add_argument("preset", nargs="?", default=None,
+                                 help="preset name (see 'experiments list')")
+    experiments_run.add_argument("--spec", default=None,
+                                 help="path to a spec JSON file")
+    experiments_run.add_argument("--workers", type=int, default=None,
+                                 help="process count (default: serial)")
+    experiments_run.add_argument("--store", default=None,
+                                 help="JSONL result store path (enables caching)")
+    experiments_run.add_argument("--force", action="store_true",
+                                 help="re-run points even when cached")
+    experiments_run.add_argument("--quiet", action="store_true",
+                                 help="suppress per-point progress lines")
+    experiments_run.set_defaults(handler=_command_experiments_run)
 
     return parser
 

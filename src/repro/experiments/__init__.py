@@ -1,0 +1,50 @@
+"""Declarative experiment campaigns: specs, runners, and a result store.
+
+The campaign layer turns the repo's per-figure benchmark drivers into
+data: an :class:`ExperimentSpec` names a runner kind and a parameter
+grid, :class:`ExperimentRunner` expands and executes it (serially or on a
+process pool, with per-point failure isolation), and :class:`ResultStore`
+persists every point under a content-addressed key so re-runs are cache
+hits.  Named presets reproduce the paper's figure scenarios::
+
+    from repro.experiments import ExperimentRunner, preset
+
+    campaign = ExperimentRunner(workers=4, store="results.jsonl").run(
+        preset("fig3-pftk")
+    )
+
+The same machinery backs ``python -m repro.cli experiments``.
+"""
+
+from .registry import (
+    PRESETS,
+    formula_from_params,
+    formula_to_params,
+    preset,
+    preset_names,
+    register_runner,
+    resolve_runner,
+    runner_kinds,
+)
+from .runner import CampaignResult, ExperimentRunner, PointResult, execute_point
+from .spec import ExperimentPoint, ExperimentSpec, grid
+from .store import ResultStore
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentPoint",
+    "grid",
+    "ExperimentRunner",
+    "CampaignResult",
+    "PointResult",
+    "execute_point",
+    "ResultStore",
+    "register_runner",
+    "resolve_runner",
+    "runner_kinds",
+    "formula_to_params",
+    "formula_from_params",
+    "preset",
+    "preset_names",
+    "PRESETS",
+]

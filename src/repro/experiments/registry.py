@@ -1,0 +1,489 @@
+"""Runner registry and named figure presets.
+
+The registry maps a spec's ``runner`` kind to a plain function
+``fn(params, seed) -> dict`` executing one point and returning a JSON-safe
+value dictionary.  Four kinds are built in, wrapping the repo's existing
+entry points:
+
+``montecarlo-basic`` / ``montecarlo-comprehensive``
+    :func:`repro.montecarlo.simulate_basic_control` /
+    :func:`repro.montecarlo.simulate_comprehensive_control` over a shifted
+    exponential loss process (the Figure 3/4 numerical experiments).
+``dumbbell``
+    :func:`repro.simulator.run_dumbbell` on one of the paper's scenario
+    families (``ns2``, ``lab``, ``internet``), summarised per flow and per
+    TFRC/TCP pair.
+``audio``
+    The Claim 2 / Figure 6 audio source through a Bernoulli dropper.
+
+Custom kinds can be registered with :func:`register_runner`; the function
+must live at module level so it survives pickling into worker processes.
+
+:func:`preset` returns ready-made :class:`~repro.experiments.spec.
+ExperimentSpec` campaigns for the paper's figure scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.formulas import (
+    AimdFormula,
+    LossThroughputFormula,
+    PftkSimplifiedFormula,
+    PftkStandardFormula,
+    SqrtFormula,
+    make_formula,
+)
+from ..lossprocess.iid import ShiftedExponentialIntervals
+from ..montecarlo.basic import simulate_basic_control
+from ..montecarlo.comprehensive import simulate_comprehensive_control
+from ..montecarlo.sweeps import (
+    FIGURE3_CV,
+    FIGURE3_HISTORY_LENGTHS,
+    FIGURE3_LOSS_RATES,
+    FIGURE4_CVS,
+)
+from .spec import ExperimentSpec
+
+__all__ = [
+    "register_runner",
+    "resolve_runner",
+    "runner_kinds",
+    "formula_to_params",
+    "formula_from_params",
+    "preset",
+    "preset_names",
+    "PRESETS",
+]
+
+RunnerFunction = Callable[[Dict[str, Any], Optional[int]], Dict[str, Any]]
+
+_RUNNERS: Dict[str, RunnerFunction] = {}
+
+
+def register_runner(kind: str, function: RunnerFunction) -> None:
+    """Register (or replace) the runner function for a spec kind."""
+    if not kind:
+        raise ValueError("runner kind must be non-empty")
+    _RUNNERS[kind] = function
+
+
+def resolve_runner(kind: str) -> RunnerFunction:
+    """Look up a runner function by kind."""
+    try:
+        return _RUNNERS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner kind {kind!r}; registered kinds are {runner_kinds()}"
+        ) from None
+
+
+def runner_kinds() -> List[str]:
+    """The registered runner kinds, sorted."""
+    return sorted(_RUNNERS)
+
+
+# ----------------------------------------------------------------------
+# Formula (de)serialisation
+# ----------------------------------------------------------------------
+_FORMULA_NAMES = {
+    SqrtFormula: "sqrt",
+    PftkStandardFormula: "pftk-standard",
+    PftkSimplifiedFormula: "pftk-simplified",
+    AimdFormula: "aimd",
+}
+
+
+def formula_to_params(formula: LossThroughputFormula) -> Dict[str, Any]:
+    """Describe a formula instance as a JSON-safe parameter dictionary.
+
+    The inverse of :func:`formula_from_params`; the round trip is exact
+    because the formula classes are frozen dataclasses whose derived
+    constants (``c1``, ``c2``, ``rto``) are kept verbatim when non-zero.
+    """
+    name = _FORMULA_NAMES.get(type(formula))
+    if name is None:
+        raise TypeError(
+            f"cannot serialise formula of type {type(formula).__name__}; "
+            f"supported types are {sorted(cls.__name__ for cls in _FORMULA_NAMES)}"
+        )
+    params = dataclasses.asdict(formula)
+    params["name"] = name
+    return params
+
+
+def formula_from_params(params: Any) -> LossThroughputFormula:
+    """Reconstruct a formula from its name or parameter dictionary."""
+    if isinstance(params, LossThroughputFormula):
+        return params
+    if isinstance(params, str):
+        return make_formula(params)
+    kwargs = dict(params)
+    name = kwargs.pop("name")
+    return make_formula(name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in runners
+# ----------------------------------------------------------------------
+def _float_or_nan(value: float) -> float:
+    value = float(value)
+    return value if math.isfinite(value) else float("nan")
+
+
+def run_montecarlo_basic(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One numerical-experiment point with the basic control."""
+    return _run_montecarlo(params, seed, comprehensive=False)
+
+
+def run_montecarlo_comprehensive(
+    params: Dict[str, Any], seed: Optional[int]
+) -> Dict[str, Any]:
+    """One numerical-experiment point with the comprehensive control."""
+    return _run_montecarlo(params, seed, comprehensive=True)
+
+
+def _run_montecarlo(
+    params: Dict[str, Any], seed: Optional[int], comprehensive: bool
+) -> Dict[str, Any]:
+    formula = formula_from_params(params["formula"])
+    loss_event_rate = float(params["loss_event_rate"])
+    coefficient_of_variation = float(params["coefficient_of_variation"])
+    history_length = int(params.get("history_length", 8))
+    num_events = int(params.get("num_events", 40_000))
+    process = ShiftedExponentialIntervals.from_loss_rate_and_cv(
+        loss_event_rate, coefficient_of_variation
+    )
+    simulate = simulate_comprehensive_control if comprehensive else simulate_basic_control
+    result = simulate(
+        formula,
+        process,
+        num_events=num_events,
+        history_length=history_length,
+        seed=seed,
+    )
+    return {
+        "loss_event_rate": loss_event_rate,
+        "coefficient_of_variation": coefficient_of_variation,
+        "history_length": history_length,
+        "normalized_throughput": float(result.normalized_throughput),
+        "throughput": float(result.throughput),
+        "interval_estimate_covariance": float(result.interval_estimate_covariance),
+        "estimator_cv": float(result.estimator_cv),
+        "empirical_loss_event_rate": float(result.loss_event_rate),
+        "num_events": int(result.num_events),
+    }
+
+
+def run_dumbbell_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One packet-level dumbbell scenario, summarised per flow and per pair."""
+    # Imported lazily to keep a montecarlo-only campaign from paying for
+    # the simulator package in every worker process.
+    from ..analysis.breakdown import loss_rate_ratio, pair_breakdowns, throughput_ratio
+    from ..measurement.collectors import scenario_summaries
+    from ..simulator.scenarios import (
+        internet_config,
+        lab_config,
+        ns2_config,
+        run_dumbbell,
+    )
+
+    family = params.get("family", "ns2")
+    num_connections = int(params.get("num_connections", 1))
+    history_length = int(params.get("history_length", 8))
+    duration = float(params.get("duration", 200.0))
+
+    if family == "ns2":
+        config = ns2_config(
+            num_connections=num_connections,
+            history_length=history_length,
+            duration=duration,
+            capacity_mbps=float(params.get("capacity_mbps", 1.5)),
+            seed=seed,
+        )
+    elif family == "lab":
+        queue_type = params.get("queue_type", "droptail")
+        buffer_packets = params.get("buffer_packets")
+        config = lab_config(
+            num_connections,
+            queue_type=queue_type,
+            buffer_packets=int(buffer_packets) if buffer_packets else 100,
+            history_length=history_length,
+            duration=duration,
+            capacity_mbps=float(params.get("capacity_mbps", 1.0)),
+            seed=seed,
+        )
+        if queue_type == "red" and buffer_packets is None:
+            # As in the lab RED setup: derive the buffer from the
+            # bandwidth-delay product instead of a fixed DropTail size.
+            config.buffer_packets = None
+    elif family == "internet":
+        config = internet_config(
+            params["path_name"],
+            num_connections,
+            history_length=history_length,
+            duration=duration,
+            capacity_mbps=float(params.get("capacity_mbps", 1.0)),
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown dumbbell family {family!r}")
+
+    result = run_dumbbell(config)
+
+    # scenario_summaries has no formula fallback of its own; use the same
+    # default as the breakdown layer (the config's formula, else
+    # PFTK-standard at the scenario RTT) so normalized throughputs are
+    # populated.
+    summary_formula = config.formula or PftkStandardFormula(rtt=config.rtt_seconds)
+
+    flows = []
+    for summary in scenario_summaries(result, formula=summary_formula):
+        flows.append(
+            {
+                "label": summary.label,
+                "num_loss_events": int(summary.num_loss_events),
+                "loss_event_rate": _float_or_nan(summary.loss_event_rate),
+                "normalized_throughput": _float_or_nan(summary.normalized_throughput),
+                "normalized_covariance": _float_or_nan(summary.normalized_covariance),
+                "throughput": _float_or_nan(summary.throughput),
+                "mean_rtt": _float_or_nan(summary.mean_rtt),
+            }
+        )
+    pairs = []
+    for pair in pair_breakdowns(result):
+        pairs.append(
+            {
+                "tfrc_loss_event_rate": _float_or_nan(pair.tfrc.loss_event_rate),
+                "tcp_loss_event_rate": _float_or_nan(pair.tcp.loss_event_rate),
+                "conservativeness_ratio": _float_or_nan(
+                    pair.breakdown.conservativeness_ratio
+                ),
+                "loss_rate_ratio": _float_or_nan(pair.breakdown.loss_rate_ratio),
+                "rtt_ratio": _float_or_nan(pair.breakdown.rtt_ratio),
+                "tcp_obedience_ratio": _float_or_nan(pair.breakdown.tcp_obedience_ratio),
+                "throughput_ratio": _float_or_nan(pair.breakdown.throughput_ratio),
+            }
+        )
+    try:
+        scenario_loss_ratio = _float_or_nan(loss_rate_ratio(result))
+    except ValueError:
+        scenario_loss_ratio = float("nan")
+    try:
+        scenario_throughput_ratio = _float_or_nan(throughput_ratio(result))
+    except ValueError:
+        scenario_throughput_ratio = float("nan")
+    return {
+        "family": family,
+        "num_connections": num_connections,
+        "flows": flows,
+        "pairs": pairs,
+        "loss_rate_ratio": scenario_loss_ratio,
+        "throughput_ratio": scenario_throughput_ratio,
+        "measured_duration": float(result.measured_duration),
+    }
+
+
+def run_audio_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """Claim 2 / Figure 6: one audio source through a Bernoulli dropper."""
+    from ..simulator.engine import Simulator
+    from ..simulator.sources import AudioSource
+
+    formula = formula_from_params(params["formula"])
+    simulator = Simulator(seed=seed)
+    source = AudioSource(
+        simulator,
+        loss_probability=float(params["loss_probability"]),
+        formula=formula,
+        history_length=int(params.get("history_length", 4)),
+        packet_period=float(params.get("packet_period", 0.002)),
+        comprehensive=bool(params.get("comprehensive", True)),
+    )
+    simulator.run(until=float(params.get("duration", 200.0)))
+    intervals = source.stats.loss_event_intervals
+    mean_interval = (
+        float(sum(intervals) / len(intervals)) if intervals else float("nan")
+    )
+    estimates = source.estimate_samples[len(source.estimate_samples) // 10:]
+    squared_cv = float("nan")
+    if estimates:
+        mean_estimate = sum(estimates) / len(estimates)
+        if mean_estimate > 0:
+            variance = sum((e - mean_estimate) ** 2 for e in estimates) / len(estimates)
+            squared_cv = variance / mean_estimate**2
+    return {
+        "loss_probability": float(params["loss_probability"]),
+        "normalized_throughput": _float_or_nan(source.normalized_throughput()),
+        "mean_rate": _float_or_nan(source.mean_rate()),
+        "loss_event_rate": _float_or_nan(
+            1.0 / mean_interval if mean_interval and mean_interval > 0 else float("nan")
+        ),
+        "estimator_squared_cv": _float_or_nan(squared_cv),
+        "packets_sent": int(source.stats.packets_sent),
+    }
+
+
+register_runner("montecarlo-basic", run_montecarlo_basic)
+register_runner("montecarlo-comprehensive", run_montecarlo_comprehensive)
+register_runner("dumbbell", run_dumbbell_scenario)
+register_runner("audio", run_audio_scenario)
+
+
+# ----------------------------------------------------------------------
+# Named presets for the paper's figure scenarios
+# ----------------------------------------------------------------------
+def _fig3_spec(formula_name: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"fig3-{formula_name.split('-')[0]}",
+        runner="montecarlo-basic",
+        base={
+            "formula": {"name": formula_name, "rtt": 1.0},
+            "coefficient_of_variation": FIGURE3_CV,
+            "num_events": 20_000,
+        },
+        grid={
+            "history_length": list(FIGURE3_HISTORY_LENGTHS),
+            "loss_event_rate": list(FIGURE3_LOSS_RATES),
+        },
+        seed=17,
+        description=(
+            f"Figure 3 ({formula_name}): normalized throughput of the basic "
+            "control vs p, cv = 1 - 1/1000, L in {1, 2, 4, 8, 16}."
+        ),
+    )
+
+
+def _fig4_spec(loss_event_rate: float, label: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"fig4-{label}",
+        runner="montecarlo-basic",
+        base={
+            "formula": {"name": "pftk-simplified", "rtt": 1.0},
+            "loss_event_rate": loss_event_rate,
+            "num_events": 20_000,
+        },
+        grid={
+            "history_length": list(FIGURE3_HISTORY_LENGTHS),
+            "coefficient_of_variation": list(FIGURE4_CVS),
+        },
+        seed=11,
+        description=(
+            f"Figure 4 (p = {loss_event_rate}): normalized throughput vs "
+            "cv[theta_0], PFTK-simplified."
+        ),
+    )
+
+
+def _fig5_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig5-ns2",
+        runner="dumbbell",
+        base={"family": "ns2", "duration": 120.0},
+        grid={"num_connections": [1, 2, 4, 8]},
+        seed=100,
+        description=(
+            "Figure 5: equal numbers of TFRC and TCP flows over a RED "
+            "bottleneck (ns-2 analogue); per-flow normalized throughput and "
+            "covariance vs p."
+        ),
+    )
+
+
+def _fig6_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig6-audio",
+        runner="audio",
+        base={
+            "formula": {"name": "pftk-simplified", "rtt": 1.0},
+            "history_length": 4,
+            "packet_period": 0.002,
+            "duration": 240.0,
+        },
+        grid={"loss_probability": [0.02, 0.05, 0.1, 0.15, 0.2, 0.25]},
+        seed=300,
+        description=(
+            "Figure 6: audio source (fixed packet clock, variable length) "
+            "through a Bernoulli dropper, L = 4."
+        ),
+    )
+
+
+def _fig11_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig11-internet",
+        runner="dumbbell",
+        base={"family": "internet", "duration": 150.0},
+        grid={
+            "path_name": ["INRIA", "UMASS", "KTH", "UMELB"],
+            "num_connections": [1, 2],
+        },
+        seed=1100,
+        description=(
+            "Figure 11: TFRC/TCP throughput ratio on the Table I Internet "
+            "path analogues."
+        ),
+    )
+
+
+def _fig16_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="fig16-lab",
+        runner="dumbbell",
+        base={"family": "lab", "duration": 150.0},
+        grid={
+            "queue_type": ["droptail", "red"],
+            "num_connections": [1, 2, 4, 6],
+        },
+        seed=1600,
+        description=(
+            "Figure 16: TFRC/TCP throughput ratio vs p in the lab analogues "
+            "(DropTail 100 and RED, comprehensive control disabled)."
+        ),
+    )
+
+
+def _smoke_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="smoke",
+        runner="montecarlo-basic",
+        base={
+            "formula": {"name": "sqrt", "rtt": 1.0},
+            "coefficient_of_variation": 0.9,
+            "num_events": 2_000,
+        },
+        grid={"history_length": [2, 8], "loss_event_rate": [0.05, 0.2]},
+        seed=1,
+        description="Tiny 4-point campaign for CI smoke tests (seconds).",
+    )
+
+
+PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
+    "fig3-sqrt": lambda: _fig3_spec("sqrt"),
+    "fig3-pftk": lambda: _fig3_spec("pftk-simplified"),
+    "fig4-low-loss": lambda: _fig4_spec(0.01, "low-loss"),
+    "fig4-high-loss": lambda: _fig4_spec(0.1, "high-loss"),
+    "fig5-ns2": _fig5_spec,
+    "fig6-audio": _fig6_spec,
+    "fig11-internet": _fig11_spec,
+    "fig16-lab": _fig16_spec,
+    "smoke": _smoke_spec,
+}
+
+
+def preset(name: str) -> ExperimentSpec:
+    """Build the named preset campaign spec."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available presets are {preset_names()}"
+        ) from None
+    return factory()
+
+
+def preset_names() -> List[str]:
+    """The available preset names, sorted."""
+    return sorted(PRESETS)

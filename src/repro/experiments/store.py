@@ -1,0 +1,140 @@
+"""Persistent, content-addressed result store for experiment campaigns.
+
+Results live in a JSONL file: one record per executed point, keyed by a
+stable SHA-256 of the point's ``(runner, params, seed)`` payload (see
+:meth:`repro.experiments.spec.ExperimentPoint.key`).  The file is
+append-only — re-running a point appends a fresh record and the newest
+record for a key wins — so concurrent campaigns can share a store without
+rewriting each other's history, and a partially-written last line (e.g.
+from a killed run) is skipped rather than poisoning the file.
+
+The store is what makes campaigns restartable: the runner consults it
+before executing a point and reuses any stored successful record (a
+*cache hit*).  Failed points are recorded too, for post-mortems, but are
+never treated as hits, so the next run retries them.
+
+:meth:`ResultStore.load_frame` flattens successful records into rows
+(``params`` + scalar result values) for the analysis layer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ResultStore"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to None so every stored line is strict JSON.
+
+    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+    (the dumbbell runner routinely produces NaN for under-observed flows),
+    which jq, JavaScript and any strict parser reject.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {name: _json_safe(entry) for name, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(entry) for entry in value]
+    return value
+
+
+class ResultStore:
+    """JSONL-backed key/value store of campaign point results."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing write from an interrupted run
+                key = record.get("key")
+                if key:
+                    self._records[key] = record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The newest record for a key, or None."""
+        return self._records.get(key)
+
+    def get_ok(self, key: str) -> Optional[Dict[str, Any]]:
+        """The newest record for a key if it was successful, else None."""
+        record = self._records.get(key)
+        if record is not None and record.get("status") == "ok":
+            return record
+        return None
+
+    def put(self, record: Dict[str, Any]) -> None:
+        """Append a record (must carry a ``"key"``) and index it."""
+        key = record.get("key")
+        if not key:
+            raise ValueError("record needs a 'key' field")
+        record = _json_safe(record)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=str, allow_nan=False) + "\n")
+        self._records[key] = dict(record)
+
+    # ------------------------------------------------------------------
+    def records(
+        self,
+        spec_name: Optional[str] = None,
+        runner: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate the newest record of every key, optionally filtered."""
+        for record in self._records.values():
+            if spec_name is not None and record.get("spec_name") != spec_name:
+                continue
+            if runner is not None and record.get("runner") != runner:
+                continue
+            if status is not None and record.get("status") != status:
+                continue
+            yield record
+
+    def load_frame(
+        self,
+        spec_name: Optional[str] = None,
+        runner: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Flatten successful records into analysis-ready rows.
+
+        Each row merges the point's parameters with the scalar entries of
+        its result value (nested lists/dicts are kept under their own key),
+        plus ``seed``, ``runner`` and ``spec_name`` columns.
+        """
+        rows: List[Dict[str, Any]] = []
+        for record in self.records(spec_name=spec_name, runner=runner, status="ok"):
+            row: Dict[str, Any] = {
+                "spec_name": record.get("spec_name"),
+                "runner": record.get("runner"),
+                "seed": record.get("seed"),
+            }
+            row.update(record.get("params", {}))
+            value = record.get("value") or {}
+            for name, entry in value.items():
+                row[name] = entry
+            rows.append(row)
+        return rows

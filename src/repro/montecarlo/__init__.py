@@ -17,6 +17,7 @@ from .sweeps import (
     FIGURE3_LOSS_RATES,
     FIGURE4_CVS,
     SweepPoint,
+    derive_point_seed,
     sweep_coefficient_of_variation,
     sweep_history_length,
     sweep_loss_event_rate,
@@ -30,6 +31,7 @@ __all__ = [
     "simulate_comprehensive_control",
     "analytic_comprehensive_throughput",
     "SweepPoint",
+    "derive_point_seed",
     "sweep_loss_event_rate",
     "sweep_coefficient_of_variation",
     "sweep_history_length",

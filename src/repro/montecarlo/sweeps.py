@@ -9,25 +9,33 @@ and once for PFTK-simplified (``q = 4r``).
 Figure 4 fixes ``p`` (to 1/100 and 1/10) and sweeps the coefficient of
 variation, for PFTK-simplified.
 
-This module provides the sweep drivers returning structured rows that the
-benchmark harness prints and the tests assert qualitative properties on
-(monotonicity in ``p``, in ``cv``, and in ``L``).
+The sweep drivers are thin front-ends over the campaign infrastructure in
+:mod:`repro.experiments`: each builds a declarative
+:class:`~repro.experiments.spec.ExperimentSpec` and executes it through
+:class:`~repro.experiments.runner.ExperimentRunner`, returning structured
+rows that the benchmark harness prints and the tests assert qualitative
+properties on (monotonicity in ``p``, in ``cv``, and in ``L``).
+
+Per-point seeds are derived with :func:`derive_point_seed`, which hashes
+the base seed together with the point's axis values.  This replaces the
+earlier additive schemes (``seed + 1000*L + index`` in two sweeps,
+``seed + index`` in the third) whose offsets collided across sweeps for
+small base seeds; the hash is collision-free by construction and is the
+same derivation :mod:`repro.experiments` applies when expanding a grid.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.formulas import LossThroughputFormula
-from ..lossprocess.iid import ShiftedExponentialIntervals
-from .basic import simulate_basic_control
-from .comprehensive import simulate_comprehensive_control
 
 __all__ = [
     "SweepPoint",
+    "derive_point_seed",
     "sweep_loss_event_rate",
     "sweep_coefficient_of_variation",
     "sweep_history_length",
@@ -45,6 +53,26 @@ FIGURE3_HISTORY_LENGTHS: Tuple[int, ...] = (1, 2, 4, 8, 16)
 #: The coefficient-of-variation grid of Figure 4.
 FIGURE4_CVS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.999)
 
+#: Seeds derived from a base seed stay below 2**32 so that they are valid
+#: for every numpy bit-generator constructor.
+_SEED_MODULUS = 2**32
+
+
+def derive_point_seed(base: Optional[int], /, **axes) -> Optional[int]:
+    """Derive a per-point seed from a base seed and the point's axis values.
+
+    The seed is a stable hash of the base seed together with the
+    ``(axis name, axis value)`` pairs, so distinct points of a sweep (and
+    distinct sweeps, which use different axis names) get independent
+    streams without the offset collisions of additive schemes.  ``None``
+    propagates (an unseeded sweep stays unseeded).
+    """
+    if base is None:
+        return None
+    canonical = json.dumps(axes, sort_keys=True, separators=(",", ":"), default=str)
+    digest = hashlib.sha256(f"{int(base)}|{canonical}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -58,34 +86,48 @@ class SweepPoint:
     interval_estimate_covariance: float
 
 
-def _run_point(
-    formula: LossThroughputFormula,
-    loss_event_rate: float,
-    coefficient_of_variation: float,
-    history_length: int,
-    num_events: int,
-    seed: Optional[int],
-    comprehensive: bool,
-) -> SweepPoint:
-    process = ShiftedExponentialIntervals.from_loss_rate_and_cv(
-        loss_event_rate, coefficient_of_variation
-    )
-    runner = simulate_comprehensive_control if comprehensive else simulate_basic_control
-    result = runner(
-        formula,
-        process,
-        num_events=num_events,
-        history_length=history_length,
+def _run_sweep_spec(name, base, grid_axes, seed, comprehensive) -> List[SweepPoint]:
+    """Execute a montecarlo grid through the campaign runner, serially."""
+    from ..experiments.runner import ExperimentRunner
+    from ..experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec(
+        name=name,
+        runner="montecarlo-comprehensive" if comprehensive else "montecarlo-basic",
+        base=base,
+        grid=grid_axes,
         seed=seed,
     )
-    return SweepPoint(
-        loss_event_rate=loss_event_rate,
-        coefficient_of_variation=coefficient_of_variation,
-        history_length=history_length,
-        normalized_throughput=result.normalized_throughput,
-        throughput=result.throughput,
-        interval_estimate_covariance=result.interval_estimate_covariance,
-    )
+    campaign = ExperimentRunner().run(spec)
+    campaign.raise_errors()
+    points: List[SweepPoint] = []
+    for row in campaign.results:
+        value = row.value
+        points.append(
+            SweepPoint(
+                loss_event_rate=value["loss_event_rate"],
+                coefficient_of_variation=value["coefficient_of_variation"],
+                history_length=value["history_length"],
+                normalized_throughput=value["normalized_throughput"],
+                throughput=value["throughput"],
+                interval_estimate_covariance=value["interval_estimate_covariance"],
+            )
+        )
+    return points
+
+
+def _formula_params(formula: LossThroughputFormula):
+    from ..experiments.registry import formula_to_params
+
+    try:
+        return formula_to_params(formula)
+    except TypeError:
+        # Custom formula subclasses outside the registry cannot be made
+        # JSON-safe, but the runner accepts the instance itself (it is
+        # picklable, and formula_from_params passes instances through), so
+        # such sweeps still work -- their specs just don't round-trip to
+        # JSON.
+        return formula
 
 
 def sweep_loss_event_rate(
@@ -102,22 +144,20 @@ def sweep_loss_event_rate(
     Returns a flat list of :class:`SweepPoint`; group by ``history_length``
     to recover the figure's curves.
     """
-    points: List[SweepPoint] = []
-    for history_length in history_lengths:
-        for index, loss_event_rate in enumerate(loss_event_rates):
-            point_seed = None if seed is None else seed + 1000 * history_length + index
-            points.append(
-                _run_point(
-                    formula,
-                    loss_event_rate,
-                    coefficient_of_variation,
-                    history_length,
-                    num_events,
-                    point_seed,
-                    comprehensive,
-                )
-            )
-    return points
+    return _run_sweep_spec(
+        "sweep-loss-event-rate",
+        base={
+            "formula": _formula_params(formula),
+            "coefficient_of_variation": float(coefficient_of_variation),
+            "num_events": int(num_events),
+        },
+        grid_axes={
+            "history_length": [int(length) for length in history_lengths],
+            "loss_event_rate": [float(rate) for rate in loss_event_rates],
+        },
+        seed=seed,
+        comprehensive=comprehensive,
+    )
 
 
 def sweep_coefficient_of_variation(
@@ -130,22 +170,20 @@ def sweep_coefficient_of_variation(
     comprehensive: bool = False,
 ) -> List[SweepPoint]:
     """Figure 4 sweep: normalized throughput versus ``cv[theta_0]``."""
-    points: List[SweepPoint] = []
-    for history_length in history_lengths:
-        for index, cv in enumerate(coefficients_of_variation):
-            point_seed = None if seed is None else seed + 1000 * history_length + index
-            points.append(
-                _run_point(
-                    formula,
-                    loss_event_rate,
-                    cv,
-                    history_length,
-                    num_events,
-                    point_seed,
-                    comprehensive,
-                )
-            )
-    return points
+    return _run_sweep_spec(
+        "sweep-coefficient-of-variation",
+        base={
+            "formula": _formula_params(formula),
+            "loss_event_rate": float(loss_event_rate),
+            "num_events": int(num_events),
+        },
+        grid_axes={
+            "history_length": [int(length) for length in history_lengths],
+            "coefficient_of_variation": [float(cv) for cv in coefficients_of_variation],
+        },
+        seed=seed,
+        comprehensive=comprehensive,
+    )
 
 
 def sweep_history_length(
@@ -158,18 +196,17 @@ def sweep_history_length(
     comprehensive: bool = False,
 ) -> List[SweepPoint]:
     """Ablation sweep over the estimator window length ``L`` only."""
-    points: List[SweepPoint] = []
-    for index, history_length in enumerate(history_lengths):
-        point_seed = None if seed is None else seed + index
-        points.append(
-            _run_point(
-                formula,
-                loss_event_rate,
-                coefficient_of_variation,
-                history_length,
-                num_events,
-                point_seed,
-                comprehensive,
-            )
-        )
-    return points
+    return _run_sweep_spec(
+        "sweep-history-length",
+        base={
+            "formula": _formula_params(formula),
+            "loss_event_rate": float(loss_event_rate),
+            "coefficient_of_variation": float(coefficient_of_variation),
+            "num_events": int(num_events),
+        },
+        grid_axes={
+            "history_length": [int(length) for length in history_lengths],
+        },
+        seed=seed,
+        comprehensive=comprehensive,
+    )

@@ -51,6 +51,24 @@ class FlowStats:
     rate_at_loss_events: List[float] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero the counters and clear the sample records.
+
+        Used at the end of a warm-up period so the statistics reflect the
+        steady-state portion of a run only; ``flow_id`` and ``label`` are
+        kept.
+        """
+        self.packets_sent = 0
+        self.packets_acked = 0
+        self.packets_lost = 0
+        self.loss_event_times.clear()
+        self.loss_event_intervals.clear()
+        self.rtt_samples.clear()
+        self.rate_at_loss_events.clear()
+
+    # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     def loss_event_rate(self) -> float:

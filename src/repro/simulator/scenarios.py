@@ -274,14 +274,7 @@ def run_dumbbell(config: DumbbellConfig) -> DumbbellResult:
     simulator.run(until=config.warmup)
     all_senders = tfrc_senders + tcp_senders + probe_senders + cbr_senders
     for sender in all_senders:
-        stats = sender.stats
-        stats.packets_sent = 0
-        stats.packets_acked = 0
-        stats.packets_lost = 0
-        stats.loss_event_times.clear()
-        stats.loss_event_intervals.clear()
-        stats.rtt_samples.clear()
-        stats.rate_at_loss_events.clear()
+        sender.stats.reset()
     simulator.run(until=config.duration)
 
     result = DumbbellResult(

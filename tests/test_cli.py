@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,3 +67,80 @@ class TestCommands:
     def test_sweep_rejects_unknown_formula(self):
         with pytest.raises(KeyError):
             main(["sweep", "--formula", "cubic", "--events", "2000"])
+
+
+class TestExperimentsParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments"])
+
+    def test_run_arguments(self):
+        arguments = build_parser().parse_args([
+            "experiments", "run", "smoke",
+            "--workers", "4", "--store", "out.jsonl", "--force",
+        ])
+        assert arguments.preset == "smoke"
+        assert arguments.workers == 4
+        assert arguments.store == "out.jsonl"
+        assert arguments.force is True
+        assert arguments.spec is None
+
+    def test_show_accepts_spec_file(self):
+        arguments = build_parser().parse_args([
+            "experiments", "show", "--spec", "campaign.json",
+        ])
+        assert arguments.spec == "campaign.json"
+        assert arguments.preset is None
+
+
+class TestExperimentsCommands:
+    def test_list_includes_figure_presets(self, capsys):
+        exit_code = main(["experiments", "list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("fig3-pftk", "fig5-ns2", "fig16-lab", "smoke"):
+            assert name in captured.out
+
+    def test_show_prints_spec_json(self, capsys):
+        exit_code = main(["experiments", "show", "fig3-sqrt"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["runner"] == "montecarlo-basic"
+        assert payload["grid"]["history_length"] == [1, 2, 4, 8, 16]
+
+    def test_run_writes_to_the_store_path(self, capsys, tmp_path):
+        store_path = tmp_path / "campaign" / "results.jsonl"
+        exit_code = main([
+            "experiments", "run", "smoke",
+            "--store", str(store_path), "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "4 run, 0 cached, 0 failed" in captured.out
+        assert store_path.exists()
+        records = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert len(records) == 4
+        assert all(record["status"] == "ok" for record in records)
+
+        exit_code = main([
+            "experiments", "run", "smoke",
+            "--store", str(store_path), "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 run, 4 cached, 0 failed" in captured.out
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        from repro.experiments import preset
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(preset("smoke").to_json())
+        exit_code = main(["experiments", "run", "--spec", str(spec_path), "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Campaign 'smoke'" in captured.out
+
+    def test_run_without_preset_or_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "run"])

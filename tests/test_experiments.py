@@ -1,0 +1,352 @@
+"""Tests for the campaign subsystem: specs, runner, registry and store."""
+
+import json
+
+import pytest
+
+from repro.core import PftkSimplifiedFormula, SqrtFormula
+from repro.experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    ResultStore,
+    execute_point,
+    formula_from_params,
+    formula_to_params,
+    grid,
+    preset,
+    preset_names,
+    register_runner,
+    resolve_runner,
+    runner_kinds,
+)
+from repro.montecarlo import derive_point_seed, sweep_loss_event_rate
+
+
+def small_montecarlo_spec(name="unit", seed=5):
+    return ExperimentSpec(
+        name=name,
+        runner="montecarlo-basic",
+        base={
+            "formula": {"name": "sqrt", "rtt": 1.0},
+            "coefficient_of_variation": 0.9,
+            "num_events": 1_000,
+        },
+        grid=grid(history_length=[2, 8], loss_event_rate=[0.05, 0.2]),
+        seed=seed,
+    )
+
+
+def failing_runner(params, seed):
+    if params.get("explode"):
+        raise RuntimeError("boom at " + str(params["value"]))
+    return {"value": params["value"]}
+
+
+register_runner("unit-failing", failing_runner)
+
+
+class TestSeedDerivation:
+    def test_none_propagates(self):
+        assert derive_point_seed(None, history_length=4) is None
+
+    def test_deterministic_and_axis_sensitive(self):
+        seed = derive_point_seed(7, history_length=4, loss_event_rate=0.1)
+        assert seed == derive_point_seed(7, loss_event_rate=0.1, history_length=4)
+        assert seed != derive_point_seed(7, history_length=8, loss_event_rate=0.1)
+        assert seed != derive_point_seed(8, history_length=4, loss_event_rate=0.1)
+        assert 0 <= seed < 2**32
+
+    def test_base_is_positional_only_so_any_axis_name_works(self):
+        spec = ExperimentSpec(
+            name="axis-named-base",
+            runner="unit-failing",
+            grid={"base": [1, 2], "value": [1]},
+            seed=1,
+        )
+        points = spec.expand()
+        assert len(points) == 2
+        assert points[0].seed != points[1].seed
+
+    def test_no_cross_sweep_collisions_for_small_bases(self):
+        """The old additive schemes collided (seed + index vs seed +
+        1000*L + index); the hashed scheme keeps distinct axis sets apart."""
+        history_only = {derive_point_seed(1, history_length=length)
+                       for length in (1, 2, 4, 8, 16)}
+        with_rate = {derive_point_seed(1, history_length=length, loss_event_rate=0.01)
+                     for length in (1, 2, 4, 8, 16)}
+        assert len(history_only) == 5
+        assert len(with_rate) == 5
+        assert not history_only & with_rate
+
+
+class TestSpec:
+    def test_grid_helper_coerces(self):
+        axes = grid(p=[0.1, 0.2], L=(2, 8), seed=range(2), tag="x")
+        assert axes == {"p": [0.1, 0.2], "L": [2, 8], "seed": [0, 1], "tag": ["x"]}
+
+    def test_grid_helper_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            grid(p=[])
+
+    def test_round_trip_through_json(self):
+        spec = small_montecarlo_spec()
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert json.loads(spec.to_json())["runner"] == "montecarlo-basic"
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = small_montecarlo_spec().to_dict()
+        payload["frobnicate"] = 1
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict(payload)
+
+    def test_axes_must_not_shadow_base(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(
+                name="bad",
+                runner="montecarlo-basic",
+                base={"history_length": 8},
+                grid={"history_length": [2, 4]},
+            )
+
+    def test_expansion_count_and_row_major_order(self):
+        spec = ExperimentSpec(
+            name="order",
+            runner="unit-failing",
+            grid={"a": [1, 2], "b": ["x", "y", "z"]},
+        )
+        points = spec.expand()
+        assert spec.num_points() == len(points) == 6
+        assert [point.index for point in points] == list(range(6))
+        # Last axis varies fastest (row-major).
+        assert [point.axes for point in points] == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 1, "b": "z"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"}, {"a": 2, "b": "z"},
+        ]
+
+    def test_point_key_ignores_spec_name_but_not_params(self):
+        spec_a = small_montecarlo_spec(name="a")
+        spec_b = small_montecarlo_spec(name="b")
+        keys_a = [point.key() for point in spec_a.expand()]
+        keys_b = [point.key() for point in spec_b.expand()]
+        assert keys_a == keys_b
+        assert len(set(keys_a)) == len(keys_a)
+        other_seed = [p.key() for p in small_montecarlo_spec(seed=6).expand()]
+        assert set(keys_a).isdisjoint(other_seed)
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        kinds = runner_kinds()
+        for kind in ("montecarlo-basic", "montecarlo-comprehensive",
+                     "dumbbell", "audio"):
+            assert kind in kinds
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            resolve_runner("no-such-kind")
+
+    def test_formula_round_trip_is_exact(self):
+        for formula in (SqrtFormula(rtt=0.5), PftkSimplifiedFormula(rtt=2.0)):
+            assert formula_from_params(formula_to_params(formula)) == formula
+
+    def test_presets_expand(self):
+        assert "fig3-pftk" in preset_names()
+        spec = preset("fig3-pftk")
+        assert spec.num_points() == 45
+        with pytest.raises(KeyError):
+            preset("fig99")
+
+
+class TestRunner:
+    def test_serial_campaign_values(self):
+        campaign = ExperimentRunner().run(small_montecarlo_spec())
+        assert campaign.num_points == 4
+        assert campaign.num_executed == 4
+        assert campaign.num_failed == 0
+        for result in campaign.results:
+            assert 0.0 < result.value["normalized_throughput"] < 1.1
+
+    def test_parallel_equals_serial_point_for_point(self):
+        spec = small_montecarlo_spec(seed=9)
+        serial = ExperimentRunner().run(spec)
+        parallel = ExperimentRunner(workers=4).run(spec)
+        assert [r.point.index for r in parallel.results] == [0, 1, 2, 3]
+        assert [r.value for r in serial.results] == [r.value for r in parallel.results]
+
+    def test_failed_point_is_isolated(self):
+        exploding = ExperimentSpec(
+            name="isolation",
+            runner="unit-failing",
+            grid={"explode": [False, True], "value": [1]},
+        )
+        campaign = ExperimentRunner().run(exploding)
+        assert campaign.num_points == 2
+        assert campaign.num_executed == 1
+        assert campaign.num_failed == 1
+        good, bad = campaign.results
+        assert good.value == {"value": 1}
+        assert bad.value is None and "boom at 1" in bad.error
+        with pytest.raises(RuntimeError, match="boom at 1"):
+            campaign.raise_errors()
+
+    def test_execute_point_isolates_unknown_runner(self):
+        outcome = execute_point({"runner": "no-such-kind", "params": {}, "seed": 1})
+        assert outcome["status"] == "error"
+        assert "no-such-kind" in outcome["error"]
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        runner = ExperimentRunner(
+            progress=lambda done, total, result: seen.append((done, total,
+                                                              result.status))
+        )
+        runner.run(small_montecarlo_spec())
+        assert [entry[0] for entry in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for _, total, _ in seen)
+
+
+class TestStore:
+    def test_cache_hit_on_rerun(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        spec = small_montecarlo_spec(seed=3)
+        first = ExperimentRunner(store=path).run(spec)
+        assert first.num_executed == 4 and first.num_cached == 0
+
+        second = ExperimentRunner(store=path).run(spec)
+        assert second.num_executed == 0 and second.num_cached == 4
+        assert [r.value for r in second.results] == [r.value for r in first.results]
+
+        forced = ExperimentRunner(store=path).run(spec, force=True)
+        assert forced.num_executed == 4 and forced.num_cached == 0
+
+    def test_failed_points_are_not_cache_hits(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        spec = ExperimentSpec(
+            name="failures",
+            runner="unit-failing",
+            grid={"explode": [True], "value": [1]},
+        )
+        first = ExperimentRunner(store=path).run(spec)
+        assert first.num_failed == 1
+        second = ExperimentRunner(store=path).run(spec)
+        assert second.num_failed == 1 and second.num_cached == 0
+
+    def test_unseeded_points_are_never_cache_hits(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        spec = small_montecarlo_spec(seed=None)
+        first = ExperimentRunner(store=path).run(spec)
+        second = ExperimentRunner(store=path).run(spec)
+        assert first.num_executed == 4 and second.num_executed == 4
+        assert second.num_cached == 0
+
+    def test_non_finite_floats_stored_as_null(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(str(path))
+        store.put({"key": "k", "status": "ok",
+                   "value": {"ratio": float("nan"), "fine": 1.5}})
+        line = path.read_text().strip()
+        assert "NaN" not in line
+        record = json.loads(line)
+        assert record["value"] == {"ratio": None, "fine": 1.5}
+
+    def test_failure_traceback_reaches_the_store(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        spec = ExperimentSpec(
+            name="post-mortem",
+            runner="unit-failing",
+            grid={"explode": [True], "value": [7]},
+        )
+        ExperimentRunner(store=path).run(spec)
+        record = next(ResultStore(path).records(status="error"))
+        assert "boom at 7" in record["error"]
+        assert "RuntimeError" in record["traceback"]
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        spec = small_montecarlo_spec(seed=4)
+        ExperimentRunner(store=str(path)).run(spec)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "truncated', )
+        store = ResultStore(str(path))
+        assert len(store) == 4
+
+    def test_load_frame_flattens_params_and_values(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        ExperimentRunner(store=path).run(small_montecarlo_spec(name="frame"))
+        frame = ResultStore(path).load_frame(spec_name="frame")
+        assert len(frame) == 4
+        row = frame[0]
+        assert row["runner"] == "montecarlo-basic"
+        assert "normalized_throughput" in row and "history_length" in row
+
+
+class TestSweepIntegration:
+    def test_sweep_accepts_custom_formula_subclass(self):
+        """Formulas outside the registry can't be made JSON-safe, but the
+        sweep front-end still accepts them (the old in-process contract)."""
+        class DoubledSqrt(SqrtFormula):
+            def rate(self, p):
+                return 2.0 * super().rate(p)
+
+        points = sweep_loss_event_rate(
+            DoubledSqrt(rtt=1.0),
+            loss_event_rates=(0.1,),
+            history_lengths=(4,),
+            num_events=200,
+            seed=3,
+        )
+        assert len(points) == 1
+        assert points[0].normalized_throughput > 0.0
+
+    def test_figure3_campaign_parallel_equals_serial_sweep(self, tmp_path):
+        """The acceptance check: a Figure-3-sized campaign (5 window lengths
+        x 9 loss rates) run through ``ExperimentRunner(workers=4)`` produces
+        point-for-point identical SweepPoint values to the serial sweep on
+        the same seeds, and an immediate re-run is pure cache hits.
+
+        ``num_events`` is shrunk from the figure's 20k to keep the test
+        fast; the equality being asserted is exact, so the event count does
+        not weaken it.
+        """
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        loss_rates = (0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4)
+        lengths = (1, 2, 4, 8, 16)
+        num_events = 500
+        serial_points = sweep_loss_event_rate(
+            formula,
+            loss_event_rates=loss_rates,
+            history_lengths=lengths,
+            num_events=num_events,
+            seed=21,
+        )
+        spec = ExperimentSpec(
+            name="fig3-sized",
+            runner="montecarlo-basic",
+            base={
+                "formula": formula_to_params(formula),
+                "coefficient_of_variation": 1.0 - 1.0 / 1000.0,
+                "num_events": num_events,
+            },
+            grid={
+                "history_length": list(lengths),
+                "loss_event_rate": list(loss_rates),
+            },
+            seed=21,
+        )
+        store_path = str(tmp_path / "fig3.jsonl")
+        campaign = ExperimentRunner(workers=4, store=store_path).run(spec)
+        campaign.raise_errors()
+        assert len(serial_points) == campaign.num_points == 45
+        assert campaign.num_executed == 45
+        for point, result in zip(serial_points, campaign.results):
+            assert point.history_length == result.value["history_length"]
+            assert point.loss_event_rate == result.value["loss_event_rate"]
+            assert point.normalized_throughput == result.value["normalized_throughput"]
+            assert point.throughput == result.value["throughput"]
+            assert point.interval_estimate_covariance == (
+                result.value["interval_estimate_covariance"]
+            )
+        rerun = ExperimentRunner(workers=4, store=store_path).run(spec)
+        assert rerun.num_cached == 45 and rerun.num_executed == 0
+        assert [r.value for r in rerun.results] == [r.value for r in campaign.results]
