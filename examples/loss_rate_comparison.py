@@ -19,6 +19,7 @@ Run with::
 
 import argparse
 
+from repro import api
 from repro.analysis import (
     CongestionModel,
     claim3_loss_event_rates,
@@ -26,7 +27,7 @@ from repro.analysis import (
     loss_rate_ratio,
 )
 from repro.core import SqrtFormula
-from repro.simulator import DumbbellConfig, run_dumbbell
+from repro.simulator import run_dumbbell
 
 
 def many_sources_section() -> None:
@@ -52,12 +53,15 @@ def few_flows_section(duration: float, seed: int) -> None:
     print(f"  closed form: p'(AIMD) = {prediction.aimd_loss_rate:.5f}, "
           f"p(EBRC) = {prediction.equation_based_loss_rate:.5f}, "
           f"ratio = {prediction.ratio:.3f} (= 16/9)")
-    config = DumbbellConfig(
-        num_tfrc=1, num_tcp=1, capacity_mbps=2.0, rtt_seconds=0.05,
-        queue_type="droptail", buffer_packets=12,
-        duration=duration, warmup=duration / 6.0, seed=seed,
-    )
-    result = run_dumbbell(config)
+    # The scenario is a registered component: the same dict could live in
+    # a JSON campaign spec or be swept as a grid axis.
+    scenario = api.SCENARIOS.from_config({
+        "kind": "dumbbell",
+        "num_tfrc": 1, "num_tcp": 1, "capacity_mbps": 2.0,
+        "rtt_seconds": 0.05, "queue_type": "droptail", "buffer_packets": 12,
+        "duration": duration, "warmup": duration / 6.0,
+    })
+    result = run_dumbbell(scenario.build(seed))
     print(f"  packet-level simulation (1 TCP + 1 TFRC, DropTail): "
           f"p'/p = {loss_rate_ratio(result):.3f} "
           f"(less pronounced than 16/9, as the paper notes)")

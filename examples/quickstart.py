@@ -1,58 +1,75 @@
 #!/usr/bin/env python3
 """Quickstart: is equation-based rate control conservative?
 
-This example walks through the core API in a few lines:
+This example walks through the unified component API in a few lines:
 
-1. pick a TCP throughput formula (PFTK-simplified, the one TFRC recommends);
-2. pick a loss process (i.i.d. shifted-exponential loss-event intervals,
-   the model of the paper's numerical experiments);
-3. run the basic and comprehensive controls over it;
-4. compare the achieved throughput with f(p) -- the conservativeness
+1. describe the components as config dicts -- a TCP throughput formula
+   (PFTK-simplified, the one TFRC recommends) and a loss process (i.i.d.
+   shifted-exponential loss-event intervals, the model of the paper's
+   numerical experiments);
+2. evaluate the basic and comprehensive controls through the
+   ``repro.api.simulate`` facade;
+3. compare the achieved throughput with f(p) -- the conservativeness
    question at the heart of the paper -- and check which of Theorem 1's /
    Theorem 2's sufficient conditions explain the outcome.
+
+Every component here is pure data: swap the ``loss_process`` config for
+``{"kind": "two-phase", ...}`` or ``{"kind": "gilbert", ...}`` to rerun
+the same question under a correlated loss model, no other changes needed.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import (
-    ComprehensiveControl,
-    BasicControl,
-    PftkSimplifiedFormula,
-    evaluate_conditions,
-    tfrc_weights,
-)
-from repro.lossprocess import ShiftedExponentialIntervals, make_rng
+from repro import api
+from repro.core import evaluate_conditions, run_basic_control
+from repro.lossprocess import make_rng
+
+FORMULA = {"kind": "pftk-simplified", "rtt": 1.0}
+LOSS_PROCESS = {
+    "kind": "shifted-exponential",
+    "loss_event_rate": 0.1,
+    "coefficient_of_variation": 0.999,
+}
 
 
 def main() -> None:
-    # A loss process with loss-event rate p = 0.1 and loss-event intervals
-    # almost as variable as an exponential (cv close to 1).
-    loss_event_rate = 0.1
-    process = ShiftedExponentialIntervals.from_loss_rate_and_cv(loss_event_rate, 0.999)
-    intervals = process.sample_intervals(50_000, make_rng(2002))
+    process = api.LOSS_PROCESSES.from_config(LOSS_PROCESS)
+    formula = api.FORMULAS.from_config(FORMULA)
 
-    # The sender plugs its loss-event interval estimate into f and sets its
-    # rate accordingly; L = 8 with the TFRC weight profile.
-    formula = PftkSimplifiedFormula(rtt=1.0)
-    weights = tfrc_weights(8)
-
-    basic_trace = BasicControl(formula, weights=weights).run(intervals)
-    comprehensive_trace = ComprehensiveControl(formula, weights=weights).run(intervals)
+    # The facade runs each control over a sampled interval sequence;
+    # L = 8 with the TFRC weight profile.
+    results = {
+        control: api.simulate(
+            api.SimConfig(
+                formula=FORMULA,
+                loss_process=LOSS_PROCESS,
+                history_length=8,
+                control=control,
+                num_events=50_000,
+                seed=2002,
+            )
+        )
+        for control in ("basic", "comprehensive")
+    }
 
     print("Loss process: shifted exponential, p = {:.3f}, cv = {:.3f}".format(
-        loss_event_rate, process.coefficient_of_variation()))
+        process.loss_event_rate, process.coefficient_of_variation()))
     print("Formula: PFTK-simplified, f(p) = {:.3f} packets/s".format(
-        formula.rate(loss_event_rate)))
+        formula.rate(process.loss_event_rate)))
     print()
-    print("Basic control        x_bar = {:.3f}  x_bar/f(p) = {:.3f}".format(
-        basic_trace.throughput, basic_trace.normalized_throughput(formula)))
-    print("Comprehensive control x_bar = {:.3f}  x_bar/f(p) = {:.3f}".format(
-        comprehensive_trace.throughput,
-        comprehensive_trace.normalized_throughput(formula)))
+    for control, result in results.items():
+        print("{:21s} x_bar = {:.3f}  x_bar/f(p) = {:.3f}".format(
+            control.capitalize() + " control", result.throughput,
+            result.normalized_throughput))
     print()
 
+    # The conditions report needs the per-event trajectory, so rerun the
+    # basic control over one sampled sequence.
+    basic_trace = run_basic_control(
+        formula, process.sample_intervals(50_000, make_rng(2002))
+    )
     report = evaluate_conditions(formula, basic_trace)
     print("Theorem 1 verdict:", report.theorem1.value)
     print("  g = 1/f(1/x) convex:", report.g_is_convex)

@@ -24,14 +24,29 @@ measurement
 analysis
     The many-sources limit (Claim 3), the few-flows fixed-capacity model
     (Claim 4), and the empirical TCP-friendliness breakdown.
+api
+    The unified component-config layer: one registry per component
+    family (formulas, loss processes, weight profiles, scenarios) with
+    exact JSON round-trip, plus the ``simulate()`` / ``simulate_batch()``
+    facade.
 """
 
-from . import analysis, core, lossprocess, measurement, montecarlo, palm, simulator
+from . import (
+    analysis,
+    api,
+    core,
+    lossprocess,
+    measurement,
+    montecarlo,
+    palm,
+    simulator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "lossprocess",
     "measurement",

@@ -1,0 +1,82 @@
+"""Unified component-config API: registries, configs, and the facade.
+
+This package is the single construction idiom for the repo's component
+families.  Each family has a :class:`~repro.api.registry.ComponentRegistry`
+with ``register(kind, cls)``, ``from_config(dict) -> obj`` and
+``to_config(obj) -> dict`` (exact JSON round-trip)::
+
+    from repro import api
+
+    formula = api.FORMULAS.from_config({"kind": "pftk-simplified", "rtt": 1.0})
+    process = api.LOSS_PROCESSES.from_config(
+        {"kind": "gilbert", "good_to_bad": 0.05, "bad_to_good": 0.4})
+    profile = api.WEIGHT_PROFILES.from_config({"kind": "tfrc", "history_length": 8})
+    scenario = api.SCENARIOS.from_config({"kind": "ns2", "num_connections": 2})
+
+On top of the registries, :func:`simulate` evaluates one typed
+:class:`SimConfig` point (basic / comprehensive / analytic), and
+:func:`simulate_batch` evaluates a whole (formula, p, cv, L) grid in
+vectorised numpy passes::
+
+    result = api.simulate(api.SimConfig(
+        formula="pftk-simplified", loss_event_rate=0.1,
+        coefficient_of_variation=0.9, history_length=8, seed=1))
+
+    batch = api.simulate_batch(api.BatchConfig(
+        formulas=["sqrt", "pftk-simplified"],
+        loss_event_rates=[0.01, 0.1, 0.4],
+        coefficients_of_variation=[0.999],
+        history_lengths=[1, 4, 16], seed=17))
+
+The pre-existing entry points (``repro.core.formulas.make_formula``,
+``repro.experiments.registry.formula_to_params`` /
+``formula_from_params``) remain as thin deprecation shims over this
+package.
+"""
+
+from .components import FORMULAS, LOSS_PROCESSES, SCENARIOS, WEIGHT_PROFILES
+from .profiles import (
+    CustomWeightProfile,
+    TfrcWeightProfile,
+    UniformWeightProfile,
+    WeightProfile,
+)
+from .registry import ComponentRegistry
+from .scenarios import (
+    CustomDumbbellScenario,
+    InternetScenario,
+    LabScenario,
+    Ns2Scenario,
+    ScenarioFamily,
+)
+from .simulate import (
+    BatchConfig,
+    BatchResult,
+    SimConfig,
+    SimResult,
+    simulate,
+    simulate_batch,
+)
+
+__all__ = [
+    "ComponentRegistry",
+    "FORMULAS",
+    "LOSS_PROCESSES",
+    "WEIGHT_PROFILES",
+    "SCENARIOS",
+    "WeightProfile",
+    "TfrcWeightProfile",
+    "UniformWeightProfile",
+    "CustomWeightProfile",
+    "ScenarioFamily",
+    "Ns2Scenario",
+    "LabScenario",
+    "InternetScenario",
+    "CustomDumbbellScenario",
+    "SimConfig",
+    "SimResult",
+    "BatchConfig",
+    "BatchResult",
+    "simulate",
+    "simulate_batch",
+]

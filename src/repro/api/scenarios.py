@@ -1,0 +1,163 @@
+"""Dumbbell scenario families as registrable components.
+
+The paper's packet-level experiments all share one topology -- TFRC, TCP
+and probe flows over a single bottleneck -- and differ only in the
+parameters of the queue, capacity, delays and flow counts.  This module
+gives each family a small frozen dataclass that is pure data (exact JSON
+round-trip through :data:`repro.api.SCENARIOS`) and knows how to
+``build()`` the concrete :class:`~repro.simulator.scenarios.DumbbellConfig`
+the simulator consumes:
+
+* :class:`Ns2Scenario` -- the ns-2 analogue (Section V-A.2, RED);
+* :class:`LabScenario` -- the lab analogue (Section V-A.3, DropTail/RED);
+* :class:`InternetScenario` -- one of the Table I Internet paths;
+* :class:`CustomDumbbellScenario` -- a fully explicit dumbbell for
+  scenarios outside the paper's three families.
+
+Splitting "family description" (this module) from "simulator input"
+(:class:`DumbbellConfig`) is what keeps the experiment layer declarative:
+a campaign grid can sweep scenario configs without importing the
+simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simulator.scenarios import (
+    DumbbellConfig,
+    internet_config,
+    lab_config,
+    ns2_config,
+)
+
+__all__ = [
+    "ScenarioFamily",
+    "Ns2Scenario",
+    "LabScenario",
+    "InternetScenario",
+    "CustomDumbbellScenario",
+]
+
+
+class ScenarioFamily(abc.ABC):
+    """A declarative description of one dumbbell experiment scenario."""
+
+    @abc.abstractmethod
+    def build(self, seed: Optional[int] = None) -> DumbbellConfig:
+        """Materialise the simulator configuration for this scenario."""
+
+
+@dataclass(frozen=True)
+class Ns2Scenario(ScenarioFamily):
+    """The ns-2-analogue family: RED bottleneck, RTT about 50 ms."""
+
+    num_connections: int = 1
+    history_length: int = 8
+    duration: float = 200.0
+    capacity_mbps: float = 1.5
+
+    def build(self, seed: Optional[int] = None) -> DumbbellConfig:
+        return ns2_config(
+            num_connections=self.num_connections,
+            history_length=self.history_length,
+            duration=self.duration,
+            capacity_mbps=self.capacity_mbps,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class LabScenario(ScenarioFamily):
+    """The lab-analogue family: DropTail or RED, comprehensive disabled.
+
+    ``buffer_packets`` may be None with ``queue_type="red"`` to derive the
+    buffer from the bandwidth-delay product, as in the paper's RED setup.
+    """
+
+    num_connections: int = 1
+    queue_type: str = "droptail"
+    buffer_packets: Optional[int] = 100
+    history_length: int = 8
+    duration: float = 200.0
+    capacity_mbps: float = 1.0
+
+    def build(self, seed: Optional[int] = None) -> DumbbellConfig:
+        config = lab_config(
+            self.num_connections,
+            queue_type=self.queue_type,
+            buffer_packets=(
+                int(self.buffer_packets) if self.buffer_packets else 100
+            ),
+            history_length=self.history_length,
+            duration=self.duration,
+            capacity_mbps=self.capacity_mbps,
+            seed=seed,
+        )
+        if self.queue_type == "red" and self.buffer_packets is None:
+            config.buffer_packets = None
+        return config
+
+
+@dataclass(frozen=True)
+class InternetScenario(ScenarioFamily):
+    """The Internet-analogue family for one of the Table I paths."""
+
+    path_name: str = "INRIA"
+    num_connections: int = 1
+    history_length: int = 8
+    duration: float = 200.0
+    capacity_mbps: float = 1.0
+
+    def build(self, seed: Optional[int] = None) -> DumbbellConfig:
+        return internet_config(
+            self.path_name,
+            self.num_connections,
+            history_length=self.history_length,
+            duration=self.duration,
+            capacity_mbps=self.capacity_mbps,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class CustomDumbbellScenario(ScenarioFamily):
+    """A fully explicit dumbbell scenario outside the named families."""
+
+    num_tfrc: int = 1
+    num_tcp: int = 1
+    num_poisson: int = 0
+    num_cbr: int = 0
+    capacity_mbps: float = 1.5
+    rtt_seconds: float = 0.05
+    queue_type: str = "red"
+    buffer_packets: Optional[int] = None
+    red_min_fraction: float = 0.25
+    red_max_fraction: float = 1.25
+    history_length: int = 8
+    tfrc_comprehensive: bool = True
+    probe_rate_fraction: float = 0.25
+    duration: float = 200.0
+    warmup: float = 20.0
+
+    def build(self, seed: Optional[int] = None) -> DumbbellConfig:
+        return DumbbellConfig(
+            num_tfrc=self.num_tfrc,
+            num_tcp=self.num_tcp,
+            num_poisson=self.num_poisson,
+            num_cbr=self.num_cbr,
+            capacity_mbps=self.capacity_mbps,
+            rtt_seconds=self.rtt_seconds,
+            queue_type=self.queue_type,
+            buffer_packets=self.buffer_packets,
+            red_min_fraction=self.red_min_fraction,
+            red_max_fraction=self.red_max_fraction,
+            history_length=self.history_length,
+            tfrc_comprehensive=self.tfrc_comprehensive,
+            probe_rate_fraction=self.probe_rate_fraction,
+            duration=self.duration,
+            warmup=self.warmup,
+            seed=seed,
+        )

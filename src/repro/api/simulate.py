@@ -1,0 +1,612 @@
+"""The ``simulate()`` facade: typed configs in, typed results out.
+
+One entry point covers the package's Monte-Carlo evaluation paths:
+
+* :func:`simulate` takes a :class:`SimConfig` (or its dict/JSON form) and
+  dispatches to the basic / comprehensive control simulation or to the
+  Proposition 1/3 analytic integration, over *any* registered loss
+  process and weight profile;
+* :func:`simulate_batch` takes a :class:`BatchConfig` describing a whole
+  grid of (formula, p, cv, L) -- or (formula, loss process, L) -- points
+  and evaluates it in shared numpy passes through
+  :mod:`repro.montecarlo.vectorized`, reusing sampled interval blocks
+  across formula variants.  With ``share_noise=True`` (the default for
+  the shifted-exponential grid form) a *single* unit-exponential block is
+  drawn and rescaled per point -- common random numbers across the whole
+  grid -- which both slashes sampling cost and smooths comparisons
+  between neighbouring grid points.  With ``share_noise=False`` each
+  point is sampled exactly as the scalar path would (same derived seed,
+  same draw), so batch and scalar results agree to numerical precision;
+  the test suite asserts this equivalence.
+
+Both config types and :class:`SimResult` round-trip through plain dicts
+and JSON, so a simulation request is data the same way an
+:class:`~repro.experiments.spec.ExperimentSpec` is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..lossprocess.base import make_rng
+from ..lossprocess.iid import ShiftedExponentialIntervals
+from ..montecarlo.basic import analytic_basic_throughput, simulate_basic_control
+from ..montecarlo.comprehensive import (
+    analytic_comprehensive_throughput,
+    simulate_comprehensive_control,
+)
+from ..montecarlo.sweeps import derive_point_seed
+from ..montecarlo.vectorized import (
+    evaluate_control_arrays,
+    sliding_estimates,
+    summarize_rows,
+)
+from .components import FORMULAS, LOSS_PROCESSES, WEIGHT_PROFILES
+from .profiles import TfrcWeightProfile
+
+__all__ = ["SimConfig", "SimResult", "BatchConfig", "BatchResult",
+           "simulate", "simulate_batch"]
+
+_CONTROLS = ("basic", "comprehensive")
+_METHODS = ("montecarlo", "analytic")
+
+
+def _component_config(registry, value: Any) -> Any:
+    """Best-effort serialisation of a component reference for to_dict()."""
+    if value is None or isinstance(value, (str, Mapping)):
+        return value if not isinstance(value, Mapping) else dict(value)
+    try:
+        return registry.to_config(value)
+    except TypeError:
+        return value
+
+
+@dataclass
+class SimConfig:
+    """Declarative description of one evaluation point.
+
+    Components may be given as config dicts, kind strings, or ready
+    instances; the shifted-exponential default loss process can instead be
+    described by ``loss_event_rate`` + ``coefficient_of_variation`` (the
+    paper's sweep axes), and the default TFRC weight profile by
+    ``history_length`` alone.
+    """
+
+    formula: Any
+    loss_process: Any = None
+    loss_event_rate: Optional[float] = None
+    coefficient_of_variation: Optional[float] = None
+    profile: Any = None
+    history_length: Optional[int] = None
+    control: str = "basic"
+    method: str = "montecarlo"
+    num_events: int = 40_000
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.control not in _CONTROLS:
+            raise ValueError(f"control must be one of {_CONTROLS}")
+        if self.method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}")
+        if self.loss_process is None and self.loss_event_rate is None:
+            raise ValueError(
+                "specify a loss_process config or a loss_event_rate"
+            )
+        if self.loss_process is not None and self.loss_event_rate is not None:
+            raise ValueError(
+                "pass either loss_process or loss_event_rate, not both"
+            )
+        if (
+            self.loss_process is not None
+            and self.coefficient_of_variation is not None
+        ):
+            raise ValueError(
+                "coefficient_of_variation parameterises the default "
+                "shifted-exponential process and cannot accompany an "
+                "explicit loss_process config"
+            )
+        if self.profile is not None and self.history_length is not None:
+            raise ValueError(
+                "pass either profile or history_length, not both"
+            )
+        if self.num_events < 10:
+            raise ValueError("num_events must be at least 10")
+
+    # ------------------------------------------------------------------
+    # Component resolution
+    # ------------------------------------------------------------------
+    def resolve_formula(self):
+        return FORMULAS.from_config(self.formula)
+
+    def resolve_loss_process(self):
+        if self.loss_process is not None:
+            return LOSS_PROCESSES.from_config(self.loss_process)
+        cv = (
+            1.0
+            if self.coefficient_of_variation is None
+            else float(self.coefficient_of_variation)
+        )
+        return ShiftedExponentialIntervals.from_loss_rate_and_cv(
+            float(self.loss_event_rate), cv
+        )
+
+    def resolve_profile(self):
+        if self.profile is not None:
+            return WEIGHT_PROFILES.from_config(self.profile)
+        length = 8 if self.history_length is None else int(self.history_length)
+        return TfrcWeightProfile(history_length=length)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["formula"] = _component_config(FORMULAS, self.formula)
+        payload["loss_process"] = _component_config(
+            LOSS_PROCESSES, self.loss_process
+        )
+        payload["profile"] = _component_config(WEIGHT_PROFILES, self.profile)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimConfig":
+        return cls(**dict(payload))
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one evaluation point, JSON-safe via :meth:`to_dict`.
+
+    ``loss_event_rate`` is the nominal (model) rate; for Monte-Carlo runs
+    ``empirical_loss_event_rate`` is the rate observed in the sampled
+    sequence and is what ``normalized_throughput`` divides by, matching
+    the scalar entry points.  Analytic results have no per-event trace,
+    so their covariance and estimator-cv fields are ``nan``.
+    """
+
+    control: str
+    method: str
+    formula: Any
+    loss_process: Any
+    history_length: int
+    num_events: int
+    seed: Optional[int]
+    loss_event_rate: float
+    coefficient_of_variation: Optional[float]
+    throughput: float
+    normalized_throughput: float
+    empirical_loss_event_rate: float
+    interval_estimate_covariance: float
+    estimator_cv: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def simulate(config: Union[SimConfig, Mapping[str, Any]]) -> SimResult:
+    """Evaluate one point described by a :class:`SimConfig`."""
+    if isinstance(config, Mapping):
+        config = SimConfig.from_dict(config)
+    formula = config.resolve_formula()
+    process = config.resolve_loss_process()
+    profile = config.resolve_profile()
+    weights = profile.weights()
+    comprehensive = config.control == "comprehensive"
+
+    if config.method == "montecarlo":
+        run = (
+            simulate_comprehensive_control if comprehensive else simulate_basic_control
+        )
+        outcome = run(
+            formula,
+            process,
+            num_events=config.num_events,
+            weights=weights,
+            seed=config.seed,
+        )
+        throughput = float(outcome.throughput)
+        normalized = float(outcome.normalized_throughput)
+        empirical = float(outcome.loss_event_rate)
+        covariance = float(outcome.interval_estimate_covariance)
+        estimator_cv = float(outcome.estimator_cv)
+    else:
+        if not getattr(process, "is_iid", True):
+            raise ValueError(
+                "method='analytic' factorises the estimator window from "
+                "the next interval (Propositions 1/3) and is only valid "
+                f"for i.i.d. loss processes; {type(process).__name__} is "
+                "correlated -- use method='montecarlo'"
+            )
+        integrate = (
+            analytic_comprehensive_throughput
+            if comprehensive
+            else analytic_basic_throughput
+        )
+        throughput = float(
+            integrate(
+                formula,
+                process,
+                num_samples=config.num_events,
+                weights=weights,
+                seed=config.seed,
+            )
+        )
+        nominal = process.loss_event_rate
+        normalized = throughput / float(formula.rate(nominal))
+        empirical = float("nan")
+        covariance = float("nan")
+        estimator_cv = float("nan")
+
+    return SimResult(
+        control=config.control,
+        method=config.method,
+        formula=_component_config(FORMULAS, formula),
+        loss_process=_component_config(LOSS_PROCESSES, process),
+        history_length=int(weights.size),
+        num_events=config.num_events,
+        seed=config.seed,
+        loss_event_rate=float(process.loss_event_rate),
+        coefficient_of_variation=config.coefficient_of_variation,
+        throughput=throughput,
+        normalized_throughput=normalized,
+        empirical_loss_event_rate=empirical,
+        interval_estimate_covariance=covariance,
+        estimator_cv=estimator_cv,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch mode
+# ----------------------------------------------------------------------
+@dataclass
+class BatchConfig:
+    """A whole grid of evaluation points for :func:`simulate_batch`.
+
+    Two grid forms are supported:
+
+    * ``loss_event_rates`` x ``coefficients_of_variation`` -- the
+      shifted-exponential family of the paper's numerical experiments
+      (Figures 3 and 4), eligible for the ``share_noise`` fast path;
+    * ``loss_processes`` -- an explicit list of loss-process configs
+      (Markov, Gilbert, traces, ...), sampled per point.
+
+    Either way the grid is crossed with ``formulas`` and
+    ``history_lengths``, and the sampled interval blocks are reused
+    across all formula variants.
+    """
+
+    formulas: List[Any] = field(default_factory=list)
+    history_lengths: List[int] = field(default_factory=lambda: [8])
+    loss_event_rates: Optional[List[float]] = None
+    coefficients_of_variation: Optional[List[float]] = None
+    loss_processes: Optional[List[Any]] = None
+    profile: Any = "tfrc"
+    control: str = "basic"
+    num_events: int = 20_000
+    seed: Optional[int] = None
+    share_noise: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.formulas:
+            raise ValueError("batch needs at least one formula")
+        if not self.history_lengths:
+            raise ValueError("batch needs at least one history length")
+        if self.control not in _CONTROLS:
+            raise ValueError(f"control must be one of {_CONTROLS}")
+        if self.num_events < 10:
+            raise ValueError("num_events must be at least 10")
+        rate_form = (
+            self.loss_event_rates is not None
+            and self.coefficients_of_variation is not None
+        )
+        process_form = self.loss_processes is not None
+        if rate_form == process_form:
+            raise ValueError(
+                "specify either loss_event_rates + coefficients_of_variation "
+                "or loss_processes"
+            )
+
+    # ------------------------------------------------------------------
+    def point_seed(self, **axes: Any) -> Optional[int]:
+        """The per-point seed the batch derives for the given axis values.
+
+        Mirrors the grid-expansion derivation of
+        :func:`repro.montecarlo.sweeps.derive_point_seed` with the same
+        axis placement an equivalent :class:`ExperimentSpec` would use:
+        only *multi-valued* batch axes enter the derivation (a
+        single-valued axis corresponds to a ``base`` parameter of the
+        spec, which is excluded from seed derivation).  As a result,
+        ``share_noise=False`` batches reproduce the matching campaign
+        preset point for point, to numerical precision.
+        """
+        filtered = {
+            name: value
+            for name, value in axes.items()
+            if self._axis_is_gridded(name)
+        }
+        return derive_point_seed(self.seed, **filtered)
+
+    def _axis_is_gridded(self, name: str) -> bool:
+        values = {
+            "history_length": self.history_lengths,
+            "loss_event_rate": self.loss_event_rates,
+            "coefficient_of_variation": self.coefficients_of_variation,
+            "loss_process": self.loss_processes,
+        }.get(name)
+        return values is not None and len(values) > 1
+
+    @property
+    def uses_shared_noise(self) -> bool:
+        """The effective sampling mode: the shared-block fast path only
+        applies to the shifted-exponential (p, cv) grid form."""
+        return self.share_noise and self.loss_processes is None
+
+    def profile_for(self, history_length: int):
+        """Resolve the weight profile for one window length of the grid.
+
+        ``profile`` is any :data:`~repro.api.WEIGHT_PROFILES` reference;
+        the parametric kinds (``tfrc``, ``uniform``) take their window
+        length from the batch's ``history_lengths`` axis, while a fixed
+        profile (e.g. ``custom``) must match it.
+        """
+        config = self.profile
+        if isinstance(config, str):
+            config = {"kind": config}
+        if isinstance(config, Mapping):
+            config = dict(config)
+            if config.get("kind") in ("tfrc", "uniform"):
+                config.setdefault("history_length", history_length)
+        profile = WEIGHT_PROFILES.from_config(config)
+        if profile.history_length != history_length:
+            raise ValueError(
+                f"profile of length {profile.history_length} does not "
+                f"match grid history_length {history_length}"
+            )
+        return profile
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["formulas"] = [
+            _component_config(FORMULAS, formula) for formula in self.formulas
+        ]
+        payload["profile"] = _component_config(WEIGHT_PROFILES, self.profile)
+        if self.loss_processes is not None:
+            payload["loss_processes"] = [
+                _component_config(LOSS_PROCESSES, process)
+                for process in self.loss_processes
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BatchConfig":
+        return cls(**dict(payload))
+
+
+@dataclass
+class BatchResult:
+    """All point results of one batch, with a small query helper."""
+
+    config: BatchConfig
+    results: List[SimResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def select(self, **criteria: Any) -> List[SimResult]:
+        """Filter results by SimResult field values.
+
+        ``formula`` matches the formula config's ``kind``; any other key
+        is compared against the result attribute of the same name.
+        """
+        matches = []
+        for result in self.results:
+            keep = True
+            for key, wanted in criteria.items():
+                if key == "formula":
+                    actual = (
+                        result.formula.get("kind")
+                        if isinstance(result.formula, Mapping)
+                        else result.formula
+                    )
+                else:
+                    actual = getattr(result, key)
+                if isinstance(actual, float) and isinstance(wanted, (int, float)):
+                    keep = keep and bool(np.isclose(actual, wanted))
+                else:
+                    keep = keep and actual == wanted
+            if keep:
+                matches.append(result)
+        return matches
+
+    def one(self, **criteria: Any) -> SimResult:
+        """Like :meth:`select` but asserts exactly one match."""
+        matches = self.select(**criteria)
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one result for {criteria}, found "
+                f"{len(matches)}"
+            )
+        return matches[0]
+
+
+def _batch_points(
+    config: BatchConfig,
+) -> List[Dict[str, Any]]:
+    """Expand the loss-model axis of the grid (formulas/L crossed later).
+
+    Each point records the sampling axes used for seed derivation plus the
+    affine (shift, scale) pair when the shifted-exponential fast path
+    applies.
+    """
+    points: List[Dict[str, Any]] = []
+    if config.loss_processes is not None:
+        for process_config in config.loss_processes:
+            process = LOSS_PROCESSES.from_config(process_config)
+            # Seed-axis value: the config exactly as given, so that the
+            # derived seeds match a campaign whose grid lists the same
+            # config dicts (instances fall back to their canonical
+            # config).
+            axis_value = (
+                process_config
+                if isinstance(process_config, (str, Mapping))
+                else _component_config(LOSS_PROCESSES, process_config)
+            )
+            points.append(
+                {
+                    "process": process,
+                    "axes": {"loss_process": axis_value},
+                    "loss_event_rate": float(process.loss_event_rate),
+                    "coefficient_of_variation": None,
+                }
+            )
+        return points
+    for rate in config.loss_event_rates:
+        for cv in config.coefficients_of_variation:
+            process = ShiftedExponentialIntervals.from_loss_rate_and_cv(
+                float(rate), float(cv)
+            )
+            points.append(
+                {
+                    "process": process,
+                    "axes": {
+                        "loss_event_rate": float(rate),
+                        "coefficient_of_variation": float(cv),
+                    },
+                    "loss_event_rate": float(rate),
+                    "coefficient_of_variation": float(cv),
+                    "shift": process.shift,
+                    "scale": 1.0 / process.rate,
+                }
+            )
+    return points
+
+
+def _shared_noise_arrays(
+    config: BatchConfig,
+    points: Sequence[Dict[str, Any]],
+    history_length: int,
+    weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Common-random-numbers sampling: one unit-exponential block for all.
+
+    A shifted exponential is an affine map of a unit exponential, and a
+    unit-sum moving average commutes with affine maps, so the base block's
+    kept/estimate/candidate arrays are computed once per window length and
+    rescaled per (p, cv) point.
+    """
+    longest = max(config.history_lengths)
+    rng = make_rng(config.seed)
+    # One draw per batch, long enough for the largest window; every window
+    # length uses the slice that puts its warm-up just before the shared
+    # kept block.
+    base = rng.exponential(1.0, size=config.num_events + longest)
+    offset = longest - history_length
+    kept_base, estimate_base, candidate_base = sliding_estimates(
+        base[offset:], weights
+    )
+    shifts = np.asarray([point["shift"] for point in points], dtype=float)
+    scales = np.asarray([point["scale"] for point in points], dtype=float)
+    kept = shifts[:, None] + scales[:, None] * kept_base[None, :]
+    estimates = shifts[:, None] + scales[:, None] * estimate_base[None, :]
+    candidates = shifts[:, None] + scales[:, None] * candidate_base[None, :]
+    return kept, estimates, candidates
+
+
+def _per_point_arrays(
+    config: BatchConfig,
+    points: Sequence[Dict[str, Any]],
+    history_length: int,
+    weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Optional[int]]]:
+    """Sample each point with its own derived seed, exactly as scalar would."""
+    rows = []
+    seeds: List[Optional[int]] = []
+    for point in points:
+        seed = config.point_seed(history_length=history_length, **point["axes"])
+        seeds.append(seed)
+        rows.append(
+            point["process"].sample_intervals(
+                config.num_events + history_length, make_rng(seed)
+            )
+        )
+    matrix = np.vstack(rows)
+    kept, estimates, candidates = sliding_estimates(matrix, weights)
+    return kept, estimates, candidates, seeds
+
+
+def simulate_batch(
+    config: Union[BatchConfig, Mapping[str, Any]]
+) -> BatchResult:
+    """Evaluate a whole grid in shared numpy passes.
+
+    The sampled interval block (and its sliding-window estimator arrays)
+    for each (loss model, L) pair is computed once and reused across all
+    formula variants; with ``share_noise=True`` a single base block is
+    additionally shared across every (p, cv) point.
+    """
+    if isinstance(config, Mapping):
+        config = BatchConfig.from_dict(config)
+    formulas = [FORMULAS.from_config(formula) for formula in config.formulas]
+    points = _batch_points(config)
+    comprehensive = config.control == "comprehensive"
+    shared = config.uses_shared_noise
+
+    batch = BatchResult(config=config)
+    for history_length in config.history_lengths:
+        profile = config.profile_for(int(history_length))
+        weights = profile.weights()
+        if shared:
+            kept, estimates, candidates = _shared_noise_arrays(
+                config, points, int(history_length), weights
+            )
+            seeds: List[Optional[int]] = [config.seed] * len(points)
+        else:
+            kept, estimates, candidates, seeds = _per_point_arrays(
+                config, points, int(history_length), weights
+            )
+        for formula in formulas:
+            rates, durations = evaluate_control_arrays(
+                formula,
+                kept,
+                estimates,
+                candidates,
+                float(weights[0]),
+                comprehensive=comprehensive,
+            )
+            del rates
+            summaries = summarize_rows(formula, kept, estimates, durations)
+            formula_config = _component_config(FORMULAS, formula)
+            for row, point in enumerate(points):
+                batch.results.append(
+                    SimResult(
+                        control=config.control,
+                        method="montecarlo",
+                        formula=formula_config,
+                        loss_process=_component_config(
+                            LOSS_PROCESSES, point["process"]
+                        ),
+                        history_length=int(history_length),
+                        num_events=config.num_events,
+                        seed=seeds[row],
+                        loss_event_rate=point["loss_event_rate"],
+                        coefficient_of_variation=point[
+                            "coefficient_of_variation"
+                        ],
+                        throughput=float(summaries["throughput"][row]),
+                        normalized_throughput=float(
+                            summaries["normalized_throughput"][row]
+                        ),
+                        empirical_loss_event_rate=float(
+                            summaries["loss_event_rate"][row]
+                        ),
+                        interval_estimate_covariance=float(
+                            summaries["interval_estimate_covariance"][row]
+                        ),
+                        estimator_cv=float(summaries["estimator_cv"][row]),
+                    )
+                )
+    return batch

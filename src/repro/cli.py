@@ -9,6 +9,15 @@ regenerated without writing Python::
     python -m repro.cli claim4 --beta 0.5
     python -m repro.cli audio --loss-probability 0.2
 
+Single evaluation points -- and vectorised grids -- go through the
+``repro.api`` facade::
+
+    python -m repro.cli simulate --formula pftk-simplified --loss-rate 0.1 --cv 0.9
+    python -m repro.cli simulate --loss-process '{"kind": "gilbert",
+        "good_to_bad": 0.05, "bad_to_good": 0.4}'
+    python -m repro.cli simulate --batch --loss-rates 0.01 0.1 0.4 \
+        --windows 1 4 16 --formulas sqrt pftk-simplified
+
 Whole campaigns (grids of scenarios run in parallel with a persistent
 result store) go through the ``experiments`` sub-command::
 
@@ -25,8 +34,10 @@ figure with its shape checks.
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence
 
+from . import api
 from .analysis import (
     CongestionModel,
     claim3_loss_event_rates,
@@ -35,7 +46,7 @@ from .analysis import (
     pair_breakdowns,
     throughput_ratio,
 )
-from .core import SqrtFormula, make_formula
+from .core import SqrtFormula
 from .experiments import ExperimentRunner, ExperimentSpec, preset, preset_names
 from .montecarlo import sweep_loss_event_rate
 from .simulator import AudioSource, Simulator, ns2_config, run_dumbbell
@@ -57,7 +68,9 @@ def _print_rows(header: Sequence[str], rows: Sequence[Sequence]) -> None:
 
 
 def _command_sweep(arguments: argparse.Namespace) -> int:
-    formula = make_formula(arguments.formula, rtt=arguments.rtt)
+    formula = api.FORMULAS.from_config(
+        {"kind": arguments.formula, "rtt": arguments.rtt}
+    )
     points = sweep_loss_event_rate(
         formula,
         loss_event_rates=tuple(arguments.loss_rates),
@@ -140,7 +153,7 @@ def _command_claim4(arguments: argparse.Namespace) -> int:
 
 
 def _command_audio(arguments: argparse.Namespace) -> int:
-    formula = make_formula(arguments.formula, rtt=1.0)
+    formula = api.FORMULAS.from_config({"kind": arguments.formula, "rtt": 1.0})
     simulator = Simulator(seed=arguments.seed)
     source = AudioSource(
         simulator,
@@ -157,6 +170,107 @@ def _command_audio(arguments: argparse.Namespace) -> int:
           source.normalized_throughput()]],
     )
     return 0
+
+
+def _command_simulate(arguments: argparse.Namespace) -> int:
+    if arguments.config:
+        with open(arguments.config, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if arguments.batch or "formulas" in payload:
+            batch = api.simulate_batch(api.BatchConfig.from_dict(payload))
+            _print_batch(batch)
+            return 0
+        result = api.simulate(api.SimConfig.from_dict(payload))
+        _print_sim_results([result])
+        return 0
+
+    loss_process = (
+        json.loads(arguments.loss_process) if arguments.loss_process else None
+    )
+    if arguments.batch:
+        if arguments.method != "montecarlo":
+            raise SystemExit(
+                "simulate --batch supports only --method montecarlo"
+            )
+        batch = api.simulate_batch(
+            api.BatchConfig(
+                formulas=[
+                    {"kind": kind, "rtt": arguments.rtt}
+                    for kind in arguments.formulas
+                ],
+                loss_event_rates=(
+                    None if loss_process else [float(p) for p in arguments.loss_rates]
+                ),
+                coefficients_of_variation=(
+                    None if loss_process else [float(cv) for cv in arguments.cvs]
+                ),
+                loss_processes=[loss_process] if loss_process else None,
+                history_lengths=[int(window) for window in arguments.windows],
+                control=arguments.control,
+                num_events=arguments.events,
+                seed=arguments.seed,
+                share_noise=not arguments.independent_noise,
+            )
+        )
+        _print_batch(batch)
+        return 0
+
+    for option, values in (("--formulas", arguments.formulas),
+                           ("--loss-rates", arguments.loss_rates),
+                           ("--cvs", arguments.cvs),
+                           ("--windows", arguments.windows)):
+        if len(values) > 1:
+            raise SystemExit(
+                f"simulate: {option} got {len(values)} values; pass --batch "
+                "to evaluate a grid"
+            )
+    result = api.simulate(
+        api.SimConfig(
+            formula={"kind": arguments.formulas[0], "rtt": arguments.rtt},
+            loss_process=loss_process,
+            loss_event_rate=None if loss_process else arguments.loss_rates[0],
+            coefficient_of_variation=None if loss_process else arguments.cvs[0],
+            history_length=arguments.windows[0],
+            control=arguments.control,
+            method=arguments.method,
+            num_events=arguments.events,
+            seed=arguments.seed,
+        )
+    )
+    _print_sim_results([result])
+    return 0
+
+
+def _print_batch(batch: api.BatchResult) -> None:
+    print(
+        f"Batch: {len(batch)} points, control={batch.config.control}, "
+        f"{batch.config.num_events} events/point, "
+        f"{'shared' if batch.config.uses_shared_noise else 'independent'} noise"
+    )
+    _print_sim_results(batch.results)
+
+
+def _print_sim_results(results: Sequence[api.SimResult]) -> None:
+    rows = []
+    for result in results:
+        formula_kind = (
+            result.formula.get("kind")
+            if isinstance(result.formula, dict)
+            else type(result.formula).__name__
+        )
+        rows.append(
+            [
+                formula_kind,
+                result.loss_event_rate,
+                result.coefficient_of_variation
+                if result.coefficient_of_variation is not None
+                else "-",
+                result.history_length,
+                result.normalized_throughput,
+                result.throughput,
+            ]
+        )
+    _print_rows(["formula", "p", "cv", "L", "x_bar/f(p)", "x_bar"], rows)
 
 
 def _load_spec(arguments: argparse.Namespace) -> ExperimentSpec:
@@ -219,7 +333,20 @@ def _command_experiments_run(arguments: argparse.Namespace) -> int:
         + (f"; store: {arguments.store}" if arguments.store else "")
     )
     _print_rows(["point", "axes", "status", "result"], rows)
-    return 1 if campaign.num_failed else 0
+    succeeded = campaign.num_executed + campaign.num_cached
+    print(
+        f"summary: {succeeded}/{campaign.num_points} points succeeded, "
+        f"{campaign.num_failed} failed"
+    )
+    if campaign.num_failed:
+        print(f"FAILED points ({campaign.num_failed}):")
+        for failure in campaign.failures():
+            axes = " ".join(
+                f"{axis}={value}" for axis, value in failure.point.axes.items()
+            )
+            print(f"  point {failure.point.index} [{axes}]: {failure.error}")
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +395,34 @@ def build_parser() -> argparse.ArgumentParser:
     audio.add_argument("--duration", type=float, default=200.0)
     audio.add_argument("--seed", type=int, default=1)
     audio.set_defaults(handler=_command_audio)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="evaluate one point or a vectorised grid (repro.api)"
+    )
+    simulate.add_argument("--config", default=None,
+                          help="SimConfig/BatchConfig JSON file")
+    simulate.add_argument("--batch", action="store_true",
+                          help="evaluate the full grid in vectorised passes")
+    simulate.add_argument("--formulas", "--formula", nargs="+",
+                          default=["pftk-simplified"], dest="formulas")
+    simulate.add_argument("--loss-rates", "--loss-rate", type=float, nargs="+",
+                          default=[0.1], dest="loss_rates")
+    simulate.add_argument("--cvs", "--cv", type=float, nargs="+",
+                          default=[0.9], dest="cvs")
+    simulate.add_argument("--windows", "--window", type=int, nargs="+",
+                          default=[8], dest="windows")
+    simulate.add_argument("--loss-process", default=None,
+                          help="loss-process config as inline JSON")
+    simulate.add_argument("--control", choices=["basic", "comprehensive"],
+                          default="basic")
+    simulate.add_argument("--method", choices=["montecarlo", "analytic"],
+                          default="montecarlo")
+    simulate.add_argument("--rtt", type=float, default=1.0)
+    simulate.add_argument("--events", type=int, default=20_000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--independent-noise", action="store_true",
+                          help="per-point seeds instead of shared noise")
+    simulate.set_defaults(handler=_command_simulate)
 
     experiments = subparsers.add_parser(
         "experiments", help="declarative experiment campaigns"

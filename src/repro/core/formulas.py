@@ -411,27 +411,18 @@ class AimdFormula(LossThroughputFormula):
         return result if isinstance(p, np.ndarray) else float(result)
 
 
-_FORMULA_REGISTRY = {
-    "sqrt": SqrtFormula,
-    "pftk-standard": PftkStandardFormula,
-    "pftk_standard": PftkStandardFormula,
-    "pftk-simplified": PftkSimplifiedFormula,
-    "pftk_simplified": PftkSimplifiedFormula,
-    "aimd": AimdFormula,
-}
-
-
 def make_formula(name: str, **kwargs) -> LossThroughputFormula:
     """Construct a formula by name.
+
+    .. deprecated:: 1.1
+        Thin shim over the unified component registry; use
+        ``repro.api.FORMULAS.from_config({"kind": name, **kwargs})``.
 
     Accepted names: ``"sqrt"``, ``"pftk-standard"``, ``"pftk-simplified"``,
     ``"aimd"`` (underscores also accepted).  Keyword arguments are forwarded
     to the corresponding constructor (``rtt``, ``rto``, ``b``, ...).
     """
-    key = name.strip().lower()
-    if key not in _FORMULA_REGISTRY:
-        raise KeyError(
-            f"unknown formula {name!r}; valid names are "
-            f"{sorted(set(_FORMULA_REGISTRY))}"
-        )
-    return _FORMULA_REGISTRY[key](**kwargs)
+    # Imported lazily: repro.api depends on this module at import time.
+    from ..api.components import FORMULAS
+
+    return FORMULAS.from_config({"kind": name, **kwargs})

@@ -2,17 +2,20 @@
 
 The registry maps a spec's ``runner`` kind to a plain function
 ``fn(params, seed) -> dict`` executing one point and returning a JSON-safe
-value dictionary.  Four kinds are built in, wrapping the repo's existing
-entry points:
+value dictionary.  Four kinds are built in, wired through the unified
+component API in :mod:`repro.api`:
 
 ``montecarlo-basic`` / ``montecarlo-comprehensive``
-    :func:`repro.montecarlo.simulate_basic_control` /
-    :func:`repro.montecarlo.simulate_comprehensive_control` over a shifted
-    exponential loss process (the Figure 3/4 numerical experiments).
+    The :func:`repro.api.simulate` facade over *any* registered loss
+    process and weight profile.  The classic Figure 3/4 form names
+    ``loss_event_rate`` / ``coefficient_of_variation`` (shifted
+    exponential); a ``loss_process`` config entry swaps in any other
+    registered kind (Markov/Gilbert, traces, ...), and a ``profile``
+    entry swaps the estimator weights.
 ``dumbbell``
-    :func:`repro.simulator.run_dumbbell` on one of the paper's scenario
-    families (``ns2``, ``lab``, ``internet``), summarised per flow and per
-    TFRC/TCP pair.
+    :func:`repro.simulator.run_dumbbell` on a registered scenario family
+    (a ``scenario`` config, or the legacy flat ``family`` form),
+    summarised per flow and per TFRC/TCP pair.
 ``audio``
     The Claim 2 / Figure 6 audio source through a Bernoulli dropper.
 
@@ -25,21 +28,13 @@ ExperimentSpec` campaigns for the paper's figure scenarios.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import Any, Callable, Dict, List, Optional
 
-from ..core.formulas import (
-    AimdFormula,
-    LossThroughputFormula,
-    PftkSimplifiedFormula,
-    PftkStandardFormula,
-    SqrtFormula,
-    make_formula,
-)
-from ..lossprocess.iid import ShiftedExponentialIntervals
-from ..montecarlo.basic import simulate_basic_control
-from ..montecarlo.comprehensive import simulate_comprehensive_control
+from ..api.components import FORMULAS, SCENARIOS
+from ..api.simulate import SimConfig
+from ..api.simulate import simulate as _simulate_point
+from ..core.formulas import LossThroughputFormula, PftkStandardFormula
 from ..montecarlo.sweeps import (
     FIGURE3_CV,
     FIGURE3_HISTORY_LENGTHS,
@@ -87,43 +82,29 @@ def runner_kinds() -> List[str]:
 
 
 # ----------------------------------------------------------------------
-# Formula (de)serialisation
+# Formula (de)serialisation (deprecation shims over repro.api.FORMULAS)
 # ----------------------------------------------------------------------
-_FORMULA_NAMES = {
-    SqrtFormula: "sqrt",
-    PftkStandardFormula: "pftk-standard",
-    PftkSimplifiedFormula: "pftk-simplified",
-    AimdFormula: "aimd",
-}
-
-
 def formula_to_params(formula: LossThroughputFormula) -> Dict[str, Any]:
     """Describe a formula instance as a JSON-safe parameter dictionary.
 
-    The inverse of :func:`formula_from_params`; the round trip is exact
-    because the formula classes are frozen dataclasses whose derived
-    constants (``c1``, ``c2``, ``rto``) are kept verbatim when non-zero.
+    .. deprecated:: 1.1
+        Thin shim over ``repro.api.FORMULAS.to_config`` preserved for the
+        legacy ``name``-keyed shape; new code should use the registry
+        directly (it emits a ``kind`` key).
     """
-    name = _FORMULA_NAMES.get(type(formula))
-    if name is None:
-        raise TypeError(
-            f"cannot serialise formula of type {type(formula).__name__}; "
-            f"supported types are {sorted(cls.__name__ for cls in _FORMULA_NAMES)}"
-        )
-    params = dataclasses.asdict(formula)
-    params["name"] = name
+    params = FORMULAS.to_config(formula)
+    params["name"] = params.pop("kind")
     return params
 
 
 def formula_from_params(params: Any) -> LossThroughputFormula:
-    """Reconstruct a formula from its name or parameter dictionary."""
-    if isinstance(params, LossThroughputFormula):
-        return params
-    if isinstance(params, str):
-        return make_formula(params)
-    kwargs = dict(params)
-    name = kwargs.pop("name")
-    return make_formula(name, **kwargs)
+    """Reconstruct a formula from its name or parameter dictionary.
+
+    .. deprecated:: 1.1
+        Thin shim over ``repro.api.FORMULAS.from_config`` (which accepts
+        both the legacy ``name`` key and the registry's ``kind`` key).
+    """
+    return FORMULAS.from_config(params)
 
 
 # ----------------------------------------------------------------------
@@ -149,88 +130,123 @@ def run_montecarlo_comprehensive(
 def _run_montecarlo(
     params: Dict[str, Any], seed: Optional[int], comprehensive: bool
 ) -> Dict[str, Any]:
-    formula = formula_from_params(params["formula"])
-    loss_event_rate = float(params["loss_event_rate"])
-    coefficient_of_variation = float(params["coefficient_of_variation"])
-    history_length = int(params.get("history_length", 8))
-    num_events = int(params.get("num_events", 40_000))
-    process = ShiftedExponentialIntervals.from_loss_rate_and_cv(
-        loss_event_rate, coefficient_of_variation
-    )
-    simulate = simulate_comprehensive_control if comprehensive else simulate_basic_control
-    result = simulate(
-        formula,
-        process,
-        num_events=num_events,
-        history_length=history_length,
+    loss_process = params.get("loss_process")
+    if loss_process is not None and "loss_event_rate" in params:
+        raise ValueError(
+            "point names both loss_process and loss_event_rate; drop one "
+            "(loss_event_rate parameterises the default shifted exponential)"
+        )
+    profile = params.get("profile")
+    config = SimConfig(
+        formula=params["formula"],
+        loss_process=loss_process,
+        loss_event_rate=(
+            None if loss_process is not None else float(params["loss_event_rate"])
+        ),
+        # Required in the classic form, as before the facade rewiring: a
+        # missing (or misspelled) cv key fails the point rather than
+        # silently running at the exponential default.
+        coefficient_of_variation=(
+            None
+            if loss_process is not None
+            else float(params["coefficient_of_variation"])
+        ),
+        profile=profile,
+        history_length=(
+            None if profile is not None else int(params.get("history_length", 8))
+        ),
+        control="comprehensive" if comprehensive else "basic",
+        method=params.get("method", "montecarlo"),
+        num_events=int(params.get("num_events", 40_000)),
         seed=seed,
+    )
+    result = _simulate_point(config)
+    # Echo the requested axis values verbatim where the spec named them,
+    # so grid labels round-trip exactly.  Config-driven loss processes
+    # report the model's nominal rate and a null cv (computing the cv of
+    # an arbitrary process needs a large simulation).
+    loss_event_rate = (
+        float(params["loss_event_rate"])
+        if "loss_event_rate" in params
+        else result.loss_event_rate
+    )
+    coefficient_of_variation = (
+        float(params["coefficient_of_variation"])
+        if "coefficient_of_variation" in params
+        else None
     )
     return {
         "loss_event_rate": loss_event_rate,
         "coefficient_of_variation": coefficient_of_variation,
-        "history_length": history_length,
+        "history_length": int(result.history_length),
         "normalized_throughput": float(result.normalized_throughput),
         "throughput": float(result.throughput),
         "interval_estimate_covariance": float(result.interval_estimate_covariance),
         "estimator_cv": float(result.estimator_cv),
-        "empirical_loss_event_rate": float(result.loss_event_rate),
+        "empirical_loss_event_rate": float(result.empirical_loss_event_rate),
         "num_events": int(result.num_events),
     }
 
 
-def run_dumbbell_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
-    """One packet-level dumbbell scenario, summarised per flow and per pair."""
-    # Imported lazily to keep a montecarlo-only campaign from paying for
-    # the simulator package in every worker process.
-    from ..analysis.breakdown import loss_rate_ratio, pair_breakdowns, throughput_ratio
-    from ..measurement.collectors import scenario_summaries
-    from ..simulator.scenarios import (
-        internet_config,
-        lab_config,
-        ns2_config,
-        run_dumbbell,
-    )
+def _scenario_from_params(params: Dict[str, Any]):
+    """Build the scenario component from a point's parameters.
+
+    Either an explicit ``scenario`` config (any registered scenario kind)
+    or the legacy flat form (``family`` plus per-family keys), which maps
+    onto the same registered dataclasses.
+    """
+    from ..api.scenarios import InternetScenario, LabScenario, Ns2Scenario
+
+    if "scenario" in params:
+        return SCENARIOS.from_config(params["scenario"])
 
     family = params.get("family", "ns2")
     num_connections = int(params.get("num_connections", 1))
     history_length = int(params.get("history_length", 8))
     duration = float(params.get("duration", 200.0))
-
     if family == "ns2":
-        config = ns2_config(
+        return Ns2Scenario(
             num_connections=num_connections,
             history_length=history_length,
             duration=duration,
             capacity_mbps=float(params.get("capacity_mbps", 1.5)),
-            seed=seed,
         )
-    elif family == "lab":
-        queue_type = params.get("queue_type", "droptail")
+    if family == "lab":
         buffer_packets = params.get("buffer_packets")
-        config = lab_config(
-            num_connections,
-            queue_type=queue_type,
-            buffer_packets=int(buffer_packets) if buffer_packets else 100,
+        # LabScenario.build treats a None buffer as "100 packets for
+        # DropTail, bandwidth-delay-derived for RED", matching the lab
+        # setups of the paper.
+        return LabScenario(
+            num_connections=num_connections,
+            queue_type=params.get("queue_type", "droptail"),
+            buffer_packets=int(buffer_packets) if buffer_packets else None,
             history_length=history_length,
             duration=duration,
             capacity_mbps=float(params.get("capacity_mbps", 1.0)),
-            seed=seed,
         )
-        if queue_type == "red" and buffer_packets is None:
-            # As in the lab RED setup: derive the buffer from the
-            # bandwidth-delay product instead of a fixed DropTail size.
-            config.buffer_packets = None
-    elif family == "internet":
-        config = internet_config(
-            params["path_name"],
-            num_connections,
+    if family == "internet":
+        return InternetScenario(
+            path_name=params["path_name"],
+            num_connections=num_connections,
             history_length=history_length,
             duration=duration,
             capacity_mbps=float(params.get("capacity_mbps", 1.0)),
-            seed=seed,
         )
-    else:
-        raise ValueError(f"unknown dumbbell family {family!r}")
+    raise ValueError(f"unknown dumbbell family {family!r}")
+
+
+def run_dumbbell_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One packet-level dumbbell scenario, summarised per flow and per pair."""
+    # Imported lazily to keep a montecarlo-only campaign from paying for
+    # the analysis/measurement stack in every worker process.
+    from ..analysis.breakdown import loss_rate_ratio, pair_breakdowns, throughput_ratio
+    from ..measurement.collectors import scenario_summaries
+    from ..simulator.scenarios import run_dumbbell
+
+    scenario = _scenario_from_params(params)
+    family = SCENARIOS.to_config(scenario)["kind"]
+    config = scenario.build(seed)
+    num_connections = int(getattr(scenario, "num_connections", config.num_tfrc))
 
     result = run_dumbbell(config)
 
@@ -292,7 +308,7 @@ def run_audio_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str,
     from ..simulator.engine import Simulator
     from ..simulator.sources import AudioSource
 
-    formula = formula_from_params(params["formula"])
+    formula = FORMULAS.from_config(params["formula"])
     simulator = Simulator(seed=seed)
     source = AudioSource(
         simulator,
@@ -340,7 +356,7 @@ def _fig3_spec(formula_name: str) -> ExperimentSpec:
         name=f"fig3-{formula_name.split('-')[0]}",
         runner="montecarlo-basic",
         base={
-            "formula": {"name": formula_name, "rtt": 1.0},
+            "formula": {"kind": formula_name, "rtt": 1.0},
             "coefficient_of_variation": FIGURE3_CV,
             "num_events": 20_000,
         },
@@ -361,7 +377,7 @@ def _fig4_spec(loss_event_rate: float, label: str) -> ExperimentSpec:
         name=f"fig4-{label}",
         runner="montecarlo-basic",
         base={
-            "formula": {"name": "pftk-simplified", "rtt": 1.0},
+            "formula": {"kind": "pftk-simplified", "rtt": 1.0},
             "loss_event_rate": loss_event_rate,
             "num_events": 20_000,
         },
@@ -397,7 +413,7 @@ def _fig6_spec() -> ExperimentSpec:
         name="fig6-audio",
         runner="audio",
         base={
-            "formula": {"name": "pftk-simplified", "rtt": 1.0},
+            "formula": {"kind": "pftk-simplified", "rtt": 1.0},
             "history_length": 4,
             "packet_period": 0.002,
             "duration": 240.0,
@@ -450,7 +466,7 @@ def _smoke_spec() -> ExperimentSpec:
         name="smoke",
         runner="montecarlo-basic",
         base={
-            "formula": {"name": "sqrt", "rtt": 1.0},
+            "formula": {"kind": "sqrt", "rtt": 1.0},
             "coefficient_of_variation": 0.9,
             "num_events": 2_000,
         },
@@ -460,9 +476,48 @@ def _smoke_spec() -> ExperimentSpec:
     )
 
 
+def _fig3_markov_spec() -> ExperimentSpec:
+    """Figure-3-style sweep of p under a two-phase Markov loss process.
+
+    The loss-process axis is a list of component configs: each point is a
+    symmetric two-phase chain whose stationary mean interval is ``1/p``
+    (good phase 1.6/p, congested phase 0.4/p), so the x-axis sweeps the
+    loss-event rate exactly as Figure 3 does while the interval sequence
+    is strongly phase-correlated -- the regime where Theorem 1's
+    covariance condition is stressed.
+    """
+    processes = [
+        {
+            "kind": "two-phase",
+            "good_mean": 1.6 / rate,
+            "bad_mean": 0.4 / rate,
+            "switch_probability": 0.2,
+        }
+        for rate in (0.02, 0.05, 0.1, 0.2)
+    ]
+    return ExperimentSpec(
+        name="fig3-markov",
+        runner="montecarlo-basic",
+        base={
+            "formula": {"kind": "pftk-simplified", "rtt": 1.0},
+            "num_events": 10_000,
+        },
+        grid={
+            "history_length": [2, 8],
+            "loss_process": processes,
+        },
+        seed=23,
+        description=(
+            "Figure-3-style sweep under a two-phase Markov loss process "
+            "(stationary mean 1/p), L in {2, 8}, PFTK-simplified."
+        ),
+    )
+
+
 PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
     "fig3-sqrt": lambda: _fig3_spec("sqrt"),
     "fig3-pftk": lambda: _fig3_spec("pftk-simplified"),
+    "fig3-markov": _fig3_markov_spec,
     "fig4-low-loss": lambda: _fig4_spec(0.01, "low-loss"),
     "fig4-high-loss": lambda: _fig4_spec(0.1, "high-loss"),
     "fig5-ns2": _fig5_spec,

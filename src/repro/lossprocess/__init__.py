@@ -15,7 +15,12 @@ from .iid import (
     LognormalIntervals,
     ShiftedExponentialIntervals,
 )
-from .markov import GilbertPacketLoss, MarkovModulatedIntervals, two_phase_process
+from .markov import (
+    GilbertIntervals,
+    GilbertPacketLoss,
+    MarkovModulatedIntervals,
+    two_phase_process,
+)
 from .trace import TraceIntervals, load_intervals
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "EmpiricalIntervals",
     "MarkovModulatedIntervals",
     "GilbertPacketLoss",
+    "GilbertIntervals",
     "two_phase_process",
     "BernoulliDropper",
     "GeometricIntervals",

@@ -21,21 +21,26 @@ uses:
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 __all__ = ["LossProcess", "SeedLike", "make_rng"]
 
-SeedLike = Optional[int]
+SeedLike = Union[None, int, np.random.Generator]
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a numpy random generator from an optional integer seed.
 
     Centralising generator construction keeps all stochastic components of
-    the package reproducible from a single integer.
+    the package reproducible from a single integer.  An existing
+    :class:`numpy.random.Generator` is passed through unchanged, so a
+    facade and the components it drives can share one stream without
+    re-seeding.
     """
+    if isinstance(seed, np.random.Generator):
+        return seed
     return np.random.default_rng(seed)
 
 
@@ -54,6 +59,13 @@ class LossProcess(abc.ABC):
         The returned values are strictly positive floats (packet counts are
         allowed to be fractional, as in the paper's fluid analysis).
         """
+
+    #: Whether the intervals are independent, identically distributed.
+    #: The analytic (Proposition 1/3) evaluation paths factorise the
+    #: estimator window from the next interval and are only valid when
+    #: this holds; correlated models (Markov-modulated, Gilbert,
+    #: order-preserving traces) override it to False.
+    is_iid: bool = True
 
     @property
     @abc.abstractmethod

@@ -255,6 +255,14 @@ class EmpiricalIntervals(LossProcess):
         """The underlying observations (copy)."""
         return self._values.copy()
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EmpiricalIntervals):
+            return NotImplemented
+        return np.array_equal(self._values, other._values)
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
+
     @property
     def mean_interval(self) -> float:
         return float(np.mean(self._values))

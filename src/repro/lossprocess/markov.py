@@ -23,7 +23,12 @@ import numpy as np
 
 from .base import LossProcess
 
-__all__ = ["MarkovModulatedIntervals", "GilbertPacketLoss", "two_phase_process"]
+__all__ = [
+    "MarkovModulatedIntervals",
+    "GilbertPacketLoss",
+    "GilbertIntervals",
+    "two_phase_process",
+]
 
 
 class MarkovModulatedIntervals(LossProcess):
@@ -44,6 +49,8 @@ class MarkovModulatedIntervals(LossProcess):
         gives exponential intervals, smaller values give shifted
         exponentials (same construction as the i.i.d. model).
     """
+
+    is_iid = False
 
     def __init__(
         self,
@@ -84,6 +91,35 @@ class MarkovModulatedIntervals(LossProcess):
     def num_phases(self) -> int:
         """Number of phases of the modulating chain."""
         return self._means.size
+
+    @property
+    def transition_matrix(self) -> np.ndarray:
+        """The phase transition matrix (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def phase_means(self) -> np.ndarray:
+        """Mean loss-event interval per phase (copy)."""
+        return self._means.copy()
+
+    @property
+    def phase_cv(self) -> float:
+        """Within-phase coefficient of variation of the intervals."""
+        return self._phase_cv
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MarkovModulatedIntervals):
+            return NotImplemented
+        return (
+            np.array_equal(self._matrix, other._matrix)
+            and np.array_equal(self._means, other._means)
+            and self._phase_cv == other._phase_cv
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._matrix.tobytes(), self._means.tobytes(), self._phase_cv)
+        )
 
     @property
     def stationary_distribution(self) -> np.ndarray:
@@ -249,3 +285,43 @@ class GilbertPacketLoss:
                 "of loss events; increase max_packets or the loss probabilities"
             )
         return np.asarray(intervals, dtype=float)
+
+
+@dataclass(frozen=True)
+class GilbertIntervals(LossProcess):
+    """Loss-event interval process induced by a Gilbert per-packet model.
+
+    Adapts :class:`GilbertPacketLoss` to the :class:`LossProcess`
+    interface consumed by the controls and the Monte-Carlo runners: each
+    lost packet is a loss event and the interval is the packet count
+    between successive losses.  By renewal-reward the mean interval is the
+    reciprocal of the stationary per-packet loss probability.
+    """
+
+    is_iid = False
+
+    good_to_bad: float
+    bad_to_good: float
+    good_loss_probability: float = 0.0
+    bad_loss_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        # Parameter validation is delegated to the wrapped model.
+        self.model  # noqa: B018 - force construction
+
+    @property
+    def model(self) -> GilbertPacketLoss:
+        """The underlying per-packet Gilbert model."""
+        return GilbertPacketLoss(
+            good_to_bad=self.good_to_bad,
+            bad_to_good=self.bad_to_good,
+            good_loss_probability=self.good_loss_probability,
+            bad_loss_probability=self.bad_loss_probability,
+        )
+
+    @property
+    def mean_interval(self) -> float:
+        return 1.0 / self.model.average_loss_probability
+
+    def sample_intervals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self.model.sample_loss_event_intervals(count, rng)

@@ -29,6 +29,10 @@ class TraceIntervals(LossProcess):
     draws are not identical.
     """
 
+    # Replay preserves the recorded ordering (and autocorrelation), so
+    # the factorised analytic paths do not apply.
+    is_iid = False
+
     def __init__(self, intervals: Sequence[float]) -> None:
         values = np.asarray(list(intervals), dtype=float)
         if values.ndim != 1 or values.size == 0:
@@ -44,6 +48,14 @@ class TraceIntervals(LossProcess):
 
     def __len__(self) -> int:
         return int(self._values.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceIntervals):
+            return NotImplemented
+        return np.array_equal(self._values, other._values)
+
+    def __hash__(self) -> int:
+        return hash(self._values.tobytes())
 
     @property
     def mean_interval(self) -> float:

@@ -22,8 +22,14 @@ from .sweeps import (
     sweep_history_length,
     sweep_loss_event_rate,
 )
+from .vectorized import (
+    vectorized_control_summaries,
+    vectorized_control_trace,
+)
 
 __all__ = [
+    "vectorized_control_trace",
+    "vectorized_control_summaries",
     "BasicControlResult",
     "simulate_basic_control",
     "analytic_basic_throughput",

@@ -76,10 +76,14 @@ def derive_point_seed(base: Optional[int], /, **axes) -> Optional[int]:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One point of a sweep: parameters plus the measured ratios."""
+    """One point of a sweep: parameters plus the measured ratios.
+
+    ``coefficient_of_variation`` is None for sweeps driven by an explicit
+    loss-process config, whose cv has no cheap closed form.
+    """
 
     loss_event_rate: float
-    coefficient_of_variation: float
+    coefficient_of_variation: Optional[float]
     history_length: int
     normalized_throughput: float
     throughput: float
@@ -117,17 +121,27 @@ def _run_sweep_spec(name, base, grid_axes, seed, comprehensive) -> List[SweepPoi
 
 
 def _formula_params(formula: LossThroughputFormula):
-    from ..experiments.registry import formula_to_params
+    from ..api.components import FORMULAS
 
     try:
-        return formula_to_params(formula)
+        return FORMULAS.to_config(formula)
     except TypeError:
         # Custom formula subclasses outside the registry cannot be made
         # JSON-safe, but the runner accepts the instance itself (it is
-        # picklable, and formula_from_params passes instances through), so
-        # such sweeps still work -- their specs just don't round-trip to
-        # JSON.
+        # picklable, and from_config passes instances through), so such
+        # sweeps still work -- their specs just don't round-trip to JSON.
         return formula
+
+
+def _loss_process_params(loss_process):
+    from ..api.components import LOSS_PROCESSES
+
+    try:
+        return LOSS_PROCESSES.to_config(
+            LOSS_PROCESSES.from_config(loss_process)
+        )
+    except TypeError:
+        return loss_process
 
 
 def sweep_loss_event_rate(
@@ -188,22 +202,41 @@ def sweep_coefficient_of_variation(
 
 def sweep_history_length(
     formula: LossThroughputFormula,
-    loss_event_rate: float,
-    coefficient_of_variation: float,
+    loss_event_rate: Optional[float] = None,
+    coefficient_of_variation: Optional[float] = None,
     history_lengths: Sequence[int] = FIGURE3_HISTORY_LENGTHS,
     num_events: int = 40_000,
     seed: Optional[int] = 13,
     comprehensive: bool = False,
+    loss_process=None,
 ) -> List[SweepPoint]:
-    """Ablation sweep over the estimator window length ``L`` only."""
+    """Ablation sweep over the estimator window length ``L`` only.
+
+    The loss model is either the shifted exponential named by
+    ``loss_event_rate`` + ``coefficient_of_variation`` (the classic form)
+    or any registered loss-process component passed as ``loss_process``
+    (a config dict, kind string, or instance) -- e.g. a Markov-modulated
+    or Gilbert process, for which the covariance condition (C1) can fail.
+    """
+    if (loss_process is None) == (loss_event_rate is None):
+        raise ValueError(
+            "pass either loss_event_rate (+ coefficient_of_variation) or "
+            "loss_process"
+        )
+    base = {
+        "formula": _formula_params(formula),
+        "num_events": int(num_events),
+    }
+    if loss_process is not None:
+        base["loss_process"] = _loss_process_params(loss_process)
+    else:
+        base["loss_event_rate"] = float(loss_event_rate)
+        base["coefficient_of_variation"] = float(
+            1.0 if coefficient_of_variation is None else coefficient_of_variation
+        )
     return _run_sweep_spec(
         "sweep-history-length",
-        base={
-            "formula": _formula_params(formula),
-            "loss_event_rate": float(loss_event_rate),
-            "coefficient_of_variation": float(coefficient_of_variation),
-            "num_events": int(num_events),
-        },
+        base=base,
         grid_axes={
             "history_length": [int(length) for length in history_lengths],
         },

@@ -1,0 +1,536 @@
+"""Tests for the unified component-config API (repro.api).
+
+Covers the registry contract (exact JSON round-trip for every registered
+component of every family), the simulate()/simulate_batch() facade
+(dispatch, config round-trip, batch-vs-scalar equivalence), and the
+vectorised control kernel against the loop implementations.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.control import BasicControl, ComprehensiveControl
+from repro.core.estimator import tfrc_weights, uniform_weights
+from repro.core.formulas import (
+    PftkSimplifiedFormula,
+    PftkStandardFormula,
+    SqrtFormula,
+)
+from repro.experiments import ExperimentRunner, ExperimentSpec
+from repro.lossprocess import ShiftedExponentialIntervals, make_rng
+from repro.montecarlo.vectorized import (
+    vectorized_control_summaries,
+    vectorized_control_trace,
+)
+
+REGISTRIES = {
+    "formula": api.FORMULAS,
+    "loss-process": api.LOSS_PROCESSES,
+    "weight-profile": api.WEIGHT_PROFILES,
+    "scenario": api.SCENARIOS,
+}
+
+ALL_COMPONENTS = [
+    (family, kind)
+    for family, registry in REGISTRIES.items()
+    for kind in registry.examples()
+]
+
+
+# ----------------------------------------------------------------------
+# Registry contract
+# ----------------------------------------------------------------------
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize(
+        "family, kind", ALL_COMPONENTS,
+        ids=[f"{family}:{kind}" for family, kind in ALL_COMPONENTS],
+    )
+    def test_every_registered_component_round_trips(self, family, kind):
+        registry = REGISTRIES[family]
+        obj = registry.examples()[kind]
+        config = registry.to_config(obj)
+        # The config must survive a real JSON round trip unchanged...
+        rehydrated = json.loads(json.dumps(config))
+        rebuilt = registry.from_config(rehydrated)
+        # ...and reconstruct an equal object of the same type.
+        assert type(rebuilt) is type(obj)
+        assert rebuilt == obj
+        # Serialising again gives the identical config.
+        assert registry.to_config(rebuilt) == json.loads(json.dumps(config))
+
+    def test_every_kind_declares_an_example(self):
+        for registry in REGISTRIES.values():
+            assert sorted(registry.examples()) == registry.kinds()
+
+    def test_instances_pass_through(self):
+        formula = SqrtFormula(rtt=0.5)
+        assert api.FORMULAS.from_config(formula) is formula
+
+    def test_kind_string_and_aliases(self):
+        assert isinstance(
+            api.FORMULAS.from_config("pftk-standard"), PftkStandardFormula
+        )
+        # Underscores, case and the legacy "name" key are accepted.
+        assert isinstance(
+            api.FORMULAS.from_config({"kind": "PFTK_Standard"}),
+            PftkStandardFormula,
+        )
+        assert isinstance(
+            api.FORMULAS.from_config({"name": "sqrt", "rtt": 2.0}), SqrtFormula
+        )
+
+    def test_unknown_kind_raises_key_error(self):
+        with pytest.raises(KeyError):
+            api.FORMULAS.from_config({"kind": "cubic"})
+
+    def test_unregistered_type_raises_type_error(self):
+        class OddFormula(SqrtFormula):
+            pass
+
+        with pytest.raises(TypeError):
+            api.FORMULAS.to_config(OddFormula(rtt=1.0))
+
+    def test_missing_kind_raises_value_error(self):
+        with pytest.raises(ValueError):
+            api.LOSS_PROCESSES.from_config({"shift": 1.0, "rate": 0.1})
+
+    def test_shifted_exponential_accepts_p_cv_form(self):
+        process = api.LOSS_PROCESSES.from_config(
+            {"kind": "shifted-exponential", "loss_event_rate": 0.1,
+             "coefficient_of_variation": 0.8}
+        )
+        assert process == ShiftedExponentialIntervals.from_loss_rate_and_cv(
+            0.1, 0.8
+        )
+
+    def test_scenario_builds_simulator_config(self):
+        scenario = api.SCENARIOS.from_config(
+            {"kind": "lab", "num_connections": 2, "queue_type": "red",
+             "buffer_packets": None}
+        )
+        config = scenario.build(seed=5)
+        assert config.num_tfrc == config.num_tcp == 2
+        assert config.queue_type == "red"
+        assert config.buffer_packets is None  # derived from the BDP
+        assert config.seed == 5
+        assert not config.tfrc_comprehensive  # lab runs disable it
+
+
+# ----------------------------------------------------------------------
+# Weight profiles
+# ----------------------------------------------------------------------
+class TestWeightProfiles:
+    def test_tfrc_profile_matches_helper(self):
+        profile = api.WEIGHT_PROFILES.from_config(
+            {"kind": "tfrc", "history_length": 8}
+        )
+        assert np.allclose(profile.weights(), tfrc_weights(8))
+
+    def test_uniform_profile_matches_helper(self):
+        profile = api.WEIGHT_PROFILES.from_config(
+            {"kind": "uniform", "history_length": 5}
+        )
+        assert np.allclose(profile.weights(), uniform_weights(5))
+
+    def test_custom_profile_normalises(self):
+        profile = api.WEIGHT_PROFILES.from_config(
+            {"kind": "custom", "raw_weights": [4.0, 2.0, 2.0]}
+        )
+        assert np.allclose(profile.weights(), [0.5, 0.25, 0.25])
+        assert profile.history_length == 3
+
+    def test_custom_profile_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            api.WEIGHT_PROFILES.from_config(
+                {"kind": "custom", "raw_weights": [1.0, -1.0]}
+            )
+
+
+# ----------------------------------------------------------------------
+# make_rng passthrough (shared streams)
+# ----------------------------------------------------------------------
+class TestMakeRng:
+    def test_existing_generator_is_passed_through(self):
+        generator = np.random.default_rng(3)
+        assert make_rng(generator) is generator
+
+    def test_seed_and_none_still_work(self):
+        assert isinstance(make_rng(5), np.random.Generator)
+        assert isinstance(make_rng(None), np.random.Generator)
+        assert make_rng(5) is not make_rng(5)
+
+    def test_components_can_share_one_stream(self):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 0.9)
+        shared = make_rng(11)
+        first = process.sample_intervals(100, make_rng(shared))
+        second = process.sample_intervals(100, make_rng(shared))
+        # The stream advanced instead of being re-seeded.
+        assert not np.allclose(first, second)
+
+
+# ----------------------------------------------------------------------
+# Vectorised kernel vs loop controls
+# ----------------------------------------------------------------------
+class TestVectorizedKernel:
+    @pytest.fixture(scope="class")
+    def intervals(self):
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.15, 0.95)
+        return process.sample_intervals(2_000 + 8, make_rng(7))
+
+    @pytest.mark.parametrize("comprehensive", [False, True])
+    @pytest.mark.parametrize(
+        "formula",
+        [SqrtFormula(rtt=1.0), PftkSimplifiedFormula(rtt=1.0),
+         PftkStandardFormula(rtt=1.0)],
+        ids=["sqrt", "pftk-simplified", "pftk-standard"],
+    )
+    def test_trace_matches_loop_implementation(
+        self, intervals, formula, comprehensive
+    ):
+        weights = tfrc_weights(8)
+        control_cls = ComprehensiveControl if comprehensive else BasicControl
+        loop_trace = control_cls(formula, weights=weights).run(intervals)
+        vector_trace = vectorized_control_trace(
+            formula, intervals, weights, comprehensive=comprehensive
+        )
+        for attribute in ("intervals", "estimates", "rates", "durations"):
+            assert np.allclose(
+                getattr(loop_trace, attribute),
+                getattr(vector_trace, attribute),
+                rtol=1e-9, atol=1e-12,
+            )
+
+    def test_row_summaries_match_single_runs(self, intervals):
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        weights = tfrc_weights(8)
+        other = ShiftedExponentialIntervals.from_loss_rate_and_cv(
+            0.05, 0.8
+        ).sample_intervals(2_000 + 8, make_rng(9))
+        matrix = np.vstack([intervals, other])
+        summaries = vectorized_control_summaries(formula, matrix, weights)
+        for row, sequence in enumerate((intervals, other)):
+            trace = BasicControl(formula, weights=weights).run(sequence)
+            assert np.isclose(
+                summaries["throughput"][row], trace.throughput, rtol=1e-9
+            )
+            assert np.isclose(
+                summaries["normalized_throughput"][row],
+                trace.normalized_throughput(formula),
+                rtol=1e-9,
+            )
+            assert np.isclose(
+                summaries["interval_estimate_covariance"][row],
+                trace.interval_estimate_covariance(),
+                rtol=1e-9,
+            )
+
+
+# ----------------------------------------------------------------------
+# The simulate() facade
+# ----------------------------------------------------------------------
+class TestSimulateFacade:
+    def test_montecarlo_matches_direct_entry_point(self):
+        from repro.montecarlo import simulate_basic_control
+
+        formula = PftkSimplifiedFormula(rtt=1.0)
+        process = ShiftedExponentialIntervals.from_loss_rate_and_cv(0.1, 0.9)
+        direct = simulate_basic_control(
+            formula, process, num_events=2_000, history_length=8, seed=13
+        )
+        via_api = api.simulate(api.SimConfig(
+            formula={"kind": "pftk-simplified", "rtt": 1.0},
+            loss_event_rate=0.1, coefficient_of_variation=0.9,
+            history_length=8, num_events=2_000, seed=13,
+        ))
+        assert via_api.normalized_throughput == direct.normalized_throughput
+        assert via_api.throughput == direct.throughput
+
+    def test_analytic_dispatch_agrees_with_montecarlo(self):
+        base = dict(formula="pftk-simplified", loss_event_rate=0.1,
+                    coefficient_of_variation=0.9, history_length=8, seed=3)
+        montecarlo = api.simulate(api.SimConfig(
+            num_events=40_000, method="montecarlo", **base))
+        analytic = api.simulate(api.SimConfig(
+            num_events=40_000, method="analytic", **base))
+        assert analytic.method == "analytic"
+        assert np.isnan(analytic.interval_estimate_covariance)
+        assert np.isclose(
+            montecarlo.normalized_throughput,
+            analytic.normalized_throughput,
+            atol=0.03,
+        )
+
+    def test_analytic_rejects_correlated_processes(self):
+        for config in (
+            {"kind": "two-phase", "good_mean": 40.0, "bad_mean": 8.0,
+             "switch_probability": 0.2},
+            {"kind": "gilbert", "good_to_bad": 0.05, "bad_to_good": 0.4},
+            {"kind": "trace", "intervals": [4.0, 9.0, 6.0]},
+        ):
+            with pytest.raises(ValueError, match="i.i.d."):
+                api.simulate(api.SimConfig(
+                    formula="sqrt", method="analytic", loss_process=config,
+                    num_events=200, seed=1))
+
+    def test_registered_loss_process_and_profile_configs(self):
+        result = api.simulate(api.SimConfig(
+            formula="sqrt",
+            loss_process={"kind": "two-phase", "good_mean": 40.0,
+                          "bad_mean": 8.0, "switch_probability": 0.2},
+            profile={"kind": "uniform", "history_length": 4},
+            num_events=1_000, seed=5,
+        ))
+        assert result.history_length == 4
+        assert 0.0 < result.normalized_throughput < 1.5
+        assert np.isclose(result.loss_event_rate, 1.0 / 24.0)
+
+    def test_comprehensive_not_below_basic(self):
+        base = dict(formula="pftk-simplified", loss_event_rate=0.2,
+                    coefficient_of_variation=0.9, history_length=8,
+                    num_events=5_000, seed=17)
+        basic = api.simulate(api.SimConfig(control="basic", **base))
+        comprehensive = api.simulate(
+            api.SimConfig(control="comprehensive", **base))
+        assert comprehensive.throughput >= basic.throughput
+
+    def test_sim_config_json_round_trip(self):
+        config = api.SimConfig(
+            formula={"kind": "sqrt", "rtt": 0.5},
+            loss_process={"kind": "gilbert", "good_to_bad": 0.05,
+                          "bad_to_good": 0.4},
+            profile={"kind": "tfrc", "history_length": 4},
+            control="comprehensive", num_events=500, seed=2,
+        )
+        payload = json.loads(json.dumps(config.to_dict()))
+        rebuilt = api.SimConfig.from_dict(payload)
+        assert rebuilt == config
+
+    def test_sim_config_validation(self):
+        with pytest.raises(ValueError):
+            api.SimConfig(formula="sqrt")  # no loss model at all
+        with pytest.raises(ValueError):
+            api.SimConfig(formula="sqrt", loss_event_rate=0.1,
+                          loss_process={"kind": "deterministic", "value": 5.0})
+        with pytest.raises(ValueError):
+            api.SimConfig(formula="sqrt", loss_event_rate=0.1,
+                          profile="tfrc", history_length=8)
+        with pytest.raises(ValueError):
+            # cv only parameterises the default shifted exponential.
+            api.SimConfig(formula="sqrt", coefficient_of_variation=0.9,
+                          loss_process={"kind": "deterministic", "value": 5.0})
+        with pytest.raises(ValueError):
+            api.SimConfig(formula="sqrt", loss_event_rate=0.1, control="wild")
+
+    def test_result_is_json_safe(self):
+        result = api.simulate(api.SimConfig(
+            formula="sqrt", loss_event_rate=0.1, history_length=2,
+            num_events=200, seed=1))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["control"] == "basic"
+        assert payload["formula"]["kind"] == "sqrt"
+        assert payload["loss_process"]["kind"] == "shifted-exponential"
+
+
+# ----------------------------------------------------------------------
+# Batch mode
+# ----------------------------------------------------------------------
+class TestSimulateBatch:
+    @pytest.mark.parametrize("control", ["basic", "comprehensive"])
+    def test_batch_equals_scalar_point_for_point(self, control):
+        batch_config = api.BatchConfig(
+            formulas=["sqrt", "pftk-simplified"],
+            loss_event_rates=[0.05, 0.2],
+            coefficients_of_variation=[0.9],
+            history_lengths=[2, 8],
+            control=control,
+            num_events=1_000,
+            seed=11,
+            share_noise=False,
+        )
+        batch = api.simulate_batch(batch_config)
+        assert len(batch) == 8
+        for result in batch.results:
+            scalar = api.simulate(api.SimConfig(
+                formula=result.formula,
+                loss_event_rate=result.loss_event_rate,
+                coefficient_of_variation=result.coefficient_of_variation,
+                history_length=result.history_length,
+                control=control,
+                num_events=result.num_events,
+                seed=batch_config.point_seed(
+                    history_length=result.history_length,
+                    loss_event_rate=result.loss_event_rate,
+                    coefficient_of_variation=result.coefficient_of_variation,
+                ),
+            ))
+            assert np.isclose(
+                result.normalized_throughput,
+                scalar.normalized_throughput,
+                rtol=1e-9,
+            )
+            assert np.isclose(result.throughput, scalar.throughput, rtol=1e-9)
+
+    def test_shared_noise_close_to_independent(self):
+        common = dict(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.1],
+            coefficients_of_variation=[0.9],
+            history_lengths=[8],
+            num_events=20_000,
+            seed=11,
+        )
+        shared = api.simulate_batch(api.BatchConfig(share_noise=True, **common))
+        independent = api.simulate_batch(
+            api.BatchConfig(share_noise=False, **common))
+        assert np.isclose(
+            shared.results[0].normalized_throughput,
+            independent.results[0].normalized_throughput,
+            atol=0.04,
+        )
+
+    def test_loss_process_batch_reproduces_campaign(self):
+        from repro.experiments import preset
+
+        spec = preset("fig3-markov")
+        spec.base["num_events"] = 300
+        campaign = ExperimentRunner().run(spec)
+        campaign.raise_errors()
+        batch = api.simulate_batch(api.BatchConfig(
+            formulas=[spec.base["formula"]],
+            loss_processes=list(spec.grid["loss_process"]),
+            history_lengths=[int(l) for l in spec.grid["history_length"]],
+            num_events=300,
+            seed=spec.seed,
+            share_noise=False,
+        ))
+        campaign_values = {
+            (row["history_length"], round(row["loss_event_rate"], 9)):
+                row["normalized_throughput"]
+            for row in campaign.values()
+        }
+        assert len(batch) == len(campaign_values)
+        for result in batch.results:
+            key = (result.history_length, round(result.loss_event_rate, 9))
+            assert np.isclose(
+                result.normalized_throughput, campaign_values[key], rtol=1e-9
+            )
+
+    def test_loss_process_grid(self):
+        batch = api.simulate_batch(api.BatchConfig(
+            formulas=["sqrt"],
+            loss_processes=[
+                {"kind": "two-phase", "good_mean": 40.0, "bad_mean": 8.0,
+                 "switch_probability": 0.2},
+                {"kind": "deterministic", "value": 10.0},
+            ],
+            history_lengths=[4],
+            num_events=500,
+            seed=3,
+        ))
+        assert len(batch) == 2
+        deterministic = batch.one(loss_event_rate=0.1)
+        # A constant interval has zero estimator variance: the control
+        # tracks f exactly.
+        assert np.isclose(deterministic.normalized_throughput, 1.0, atol=1e-6)
+
+    def test_select_and_one(self):
+        batch = api.simulate_batch(api.BatchConfig(
+            formulas=["sqrt", "pftk-simplified"],
+            loss_event_rates=[0.1],
+            coefficients_of_variation=[0.9],
+            history_lengths=[2, 8],
+            num_events=500,
+            seed=4,
+        ))
+        assert len(batch.select(formula="sqrt")) == 2
+        single = batch.one(formula="sqrt", history_length=8)
+        assert single.history_length == 8
+        with pytest.raises(KeyError):
+            batch.one(formula="sqrt")
+
+    def test_batch_config_json_round_trip(self):
+        config = api.BatchConfig(
+            formulas=[{"kind": "sqrt", "rtt": 1.0}],
+            loss_event_rates=[0.1, 0.2],
+            coefficients_of_variation=[0.9],
+            history_lengths=[2],
+            num_events=500, seed=1,
+        )
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert api.BatchConfig.from_dict(payload) == config
+
+    def test_batch_config_validation(self):
+        with pytest.raises(ValueError):
+            api.BatchConfig(formulas=["sqrt"], history_lengths=[8])
+        with pytest.raises(ValueError):
+            api.BatchConfig(
+                formulas=["sqrt"], history_lengths=[8],
+                loss_event_rates=[0.1],
+                coefficients_of_variation=[0.9],
+                loss_processes=[{"kind": "deterministic", "value": 5.0}],
+            )
+
+    def test_batch_accepts_custom_weight_profile(self):
+        config = api.BatchConfig(
+            formulas=["sqrt"],
+            loss_event_rates=[0.1],
+            coefficients_of_variation=[0.9],
+            history_lengths=[3],
+            profile={"kind": "custom", "raw_weights": [4.0, 2.0, 1.0]},
+            num_events=500, seed=6,
+        )
+        batch = api.simulate_batch(config)
+        assert batch.results[0].history_length == 3
+        # A fixed-length profile must match the grid's window axis.
+        with pytest.raises(ValueError, match="does not match"):
+            api.simulate_batch(api.BatchConfig(
+                formulas=["sqrt"],
+                loss_event_rates=[0.1],
+                coefficients_of_variation=[0.9],
+                history_lengths=[8],
+                profile={"kind": "custom", "raw_weights": [4.0, 2.0, 1.0]},
+                num_events=500, seed=6,
+            ))
+
+
+# ----------------------------------------------------------------------
+# Campaigns from pure JSON (the "new scenario = new config dict" claim)
+# ----------------------------------------------------------------------
+class TestJsonCampaigns:
+    def test_gilbert_fig3_spec_runs_from_json_file(self):
+        from pathlib import Path
+
+        spec_path = (
+            Path(__file__).resolve().parent.parent
+            / "examples" / "specs" / "fig3_gilbert.json"
+        )
+        spec = ExperimentSpec.from_json(spec_path.read_text(encoding="utf-8"))
+        spec.base["num_events"] = 300  # keep the unit test fast
+        campaign = ExperimentRunner().run(spec)
+        campaign.raise_errors()
+        assert campaign.num_points == 6
+        for result in campaign.results:
+            assert result.value["normalized_throughput"] > 0.0
+            # The Gilbert model's loss-event rate is reported from the
+            # stationary per-packet loss probability.
+            assert 0.01 < result.value["loss_event_rate"] < 0.25
+
+    def test_montecarlo_runner_accepts_profile_config(self):
+        spec = ExperimentSpec(
+            name="uniform-profile",
+            runner="montecarlo-basic",
+            base={
+                "formula": {"kind": "sqrt", "rtt": 1.0},
+                "loss_event_rate": 0.1,
+                "coefficient_of_variation": 0.9,
+                "num_events": 500,
+                "profile": {"kind": "uniform", "history_length": 4},
+            },
+            seed=9,
+        )
+        campaign = ExperimentRunner().run(spec)
+        campaign.raise_errors()
+        assert campaign.results[0].value["history_length"] == 4

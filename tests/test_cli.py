@@ -144,3 +144,93 @@ class TestExperimentsCommands:
     def test_run_without_preset_or_spec_exits(self):
         with pytest.raises(SystemExit):
             main(["experiments", "run"])
+
+    def test_run_reports_failures_and_exits_nonzero(self, capsys, tmp_path):
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec(
+            name="half-broken",
+            runner="montecarlo-basic",
+            base={
+                "formula": {"kind": "sqrt", "rtt": 1.0},
+                "coefficient_of_variation": 0.9,
+                "num_events": 200,
+            },
+            # The negative loss rate fails validation inside the runner;
+            # the positive one succeeds.
+            grid={"loss_event_rate": [0.1, -0.5]},
+            seed=1,
+        )
+        spec_path = tmp_path / "broken.json"
+        spec_path.write_text(spec.to_json())
+        exit_code = main(["experiments", "run", "--spec", str(spec_path),
+                          "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "summary: 1/2 points succeeded, 1 failed" in captured.out
+        assert "FAILED points (1):" in captured.out
+        assert "loss_event_rate=-0.5" in captured.out
+
+    def test_run_success_prints_summary_line(self, capsys):
+        exit_code = main(["experiments", "run", "smoke", "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "summary: 4/4 points succeeded, 0 failed" in captured.out
+
+
+class TestSimulateCommand:
+    def test_single_point(self, capsys):
+        exit_code = main([
+            "simulate", "--loss-rate", "0.1", "--cv", "0.9",
+            "--window", "4", "--events", "500", "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "x_bar/f(p)" in captured.out
+        assert "pftk-simplified" in captured.out
+
+    def test_batch_grid(self, capsys):
+        exit_code = main([
+            "simulate", "--batch",
+            "--formulas", "sqrt", "pftk-simplified",
+            "--loss-rates", "0.05", "0.2", "--cvs", "0.9",
+            "--windows", "2", "8", "--events", "500",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Batch: 8 points" in captured.out
+        assert "shared noise" in captured.out
+
+    def test_loss_process_json(self, capsys):
+        exit_code = main([
+            "simulate", "--events", "300",
+            "--loss-process",
+            '{"kind": "gilbert", "good_to_bad": 0.05, "bad_to_good": 0.4}',
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "x_bar/f(p)" in captured.out
+
+    def test_multiple_values_require_batch(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--loss-rates", "0.05", "0.2", "--events", "200"])
+
+    def test_batch_rejects_analytic_method(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--batch", "--method", "analytic",
+                  "--events", "200"])
+
+    def test_config_file(self, capsys, tmp_path):
+        config_path = tmp_path / "sim.json"
+        config_path.write_text(json.dumps({
+            "formula": {"kind": "sqrt", "rtt": 1.0},
+            "loss_event_rate": 0.1,
+            "coefficient_of_variation": 0.9,
+            "history_length": 4,
+            "num_events": 300,
+            "seed": 2,
+        }))
+        exit_code = main(["simulate", "--config", str(config_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "sqrt" in captured.out
