@@ -63,6 +63,21 @@ def main() -> None:
         print("{:21s} x_bar = {:.3f}  x_bar/f(p) = {:.3f}".format(
             control.capitalize() + " control", result.throughput,
             result.normalized_throughput))
+
+    # Cross-check against the closed-form predictions: Propositions 1 and
+    # 3 give the same long-run throughputs without simulating the control
+    # (valid here because the loss process declares i.i.d. intervals).
+    # Whole (formula x p x cv x L) grids of these integrals go through
+    # api.simulate_batch(BatchConfig(method="analytic")).
+    for control in ("basic", "comprehensive"):
+        prediction = api.simulate(api.SimConfig(
+            formula=FORMULA, loss_process=LOSS_PROCESS, history_length=8,
+            control=control, method="analytic", num_events=200_000,
+            seed=2002))
+        print("{:21s} Proposition {} prediction: x_bar/f(p) = {:.3f}".format(
+            control.capitalize() + " control",
+            "1" if control == "basic" else "3",
+            prediction.normalized_throughput))
     print()
 
     # The conditions report needs the per-event trajectory, so rerun the

@@ -9,15 +9,23 @@ One entry point covers the package's Monte-Carlo evaluation paths:
 * :func:`simulate_batch` takes a :class:`BatchConfig` describing a whole
   grid of (formula, p, cv, L) -- or (formula, loss process, L) -- points
   and evaluates it in shared numpy passes through
-  :mod:`repro.montecarlo.vectorized`, reusing sampled interval blocks
-  across formula variants.  With ``share_noise=True`` (the default for
-  the shifted-exponential grid form) a *single* unit-exponential block is
+  :mod:`repro.montecarlo.vectorized` (``method="montecarlo"``) or
+  :mod:`repro.montecarlo.vectorized_analytic` (``method="analytic"``,
+  the Proposition 1/3 integrals), reusing sampled blocks across formula
+  variants.  With ``share_noise=True`` (the default for the
+  shifted-exponential grid form) a *single* unit-exponential block is
   drawn and rescaled per point -- common random numbers across the whole
   grid -- which both slashes sampling cost and smooths comparisons
   between neighbouring grid points.  With ``share_noise=False`` each
   point is sampled exactly as the scalar path would (same derived seed,
   same draw), so batch and scalar results agree to numerical precision;
-  the test suite asserts this equivalence.
+  the test suite asserts this equivalence for both methods.
+
+The analytic method applies only to loss processes that *declare*
+i.i.d. intervals (``is_iid = True``): Propositions 1 and 3 factorise the
+estimator window from the next interval, which fails under correlation.
+A process that does not expose the flag at all is rejected rather than
+assumed independent.
 
 Both config types and :class:`SimResult` round-trip through plain dicts
 and JSON, so a simulation request is data the same way an
@@ -44,6 +52,13 @@ from ..montecarlo.vectorized import (
     sliding_estimates,
     summarize_rows,
 )
+from ..montecarlo.vectorized_analytic import (
+    affine_basic_throughput_rows,
+    analytic_window_estimates,
+    basic_throughput_rows,
+    comprehensive_throughput_rows,
+    stratified_representatives,
+)
 from .components import FORMULAS, LOSS_PROCESSES, WEIGHT_PROFILES
 from .profiles import TfrcWeightProfile
 
@@ -62,6 +77,26 @@ def _component_config(registry, value: Any) -> Any:
         return registry.to_config(value)
     except TypeError:
         return value
+
+
+def _require_iid(process: Any) -> None:
+    """Reject loss processes that do not declare i.i.d. intervals.
+
+    The analytic (Proposition 1/3) paths factorise the estimator window
+    from the next interval, which holds only for i.i.d. processes.  The
+    default is *rejection*: a process type that does not expose
+    ``is_iid`` at all (e.g. a virtual :class:`~repro.lossprocess.base.
+    LossProcess` subclass that never inherited the attribute) must not
+    silently receive i.i.d. treatment.
+    """
+    if not getattr(process, "is_iid", False):
+        raise ValueError(
+            "method='analytic' factorises the estimator window from "
+            "the next interval (Propositions 1/3) and is only valid "
+            "for loss processes declaring i.i.d. intervals "
+            f"(is_iid=True); {type(process).__name__} does not -- use "
+            "method='montecarlo'"
+        )
 
 
 @dataclass
@@ -213,13 +248,7 @@ def simulate(config: Union[SimConfig, Mapping[str, Any]]) -> SimResult:
         covariance = float(outcome.interval_estimate_covariance)
         estimator_cv = float(outcome.estimator_cv)
     else:
-        if not getattr(process, "is_iid", True):
-            raise ValueError(
-                "method='analytic' factorises the estimator window from "
-                "the next interval (Propositions 1/3) and is only valid "
-                f"for i.i.d. loss processes; {type(process).__name__} is "
-                "correlated -- use method='montecarlo'"
-            )
+        _require_iid(process)
         integrate = (
             analytic_comprehensive_throughput
             if comprehensive
@@ -275,7 +304,10 @@ class BatchConfig:
 
     Either way the grid is crossed with ``formulas`` and
     ``history_lengths``, and the sampled interval blocks are reused
-    across all formula variants.
+    across all formula variants.  ``method`` selects the evaluation per
+    point: ``"montecarlo"`` runs the control over sampled sequences,
+    ``"analytic"`` evaluates the Proposition 1/3 integrals (i.i.d. loss
+    processes only, matching the scalar facade's guard).
     """
 
     formulas: List[Any] = field(default_factory=list)
@@ -285,6 +317,7 @@ class BatchConfig:
     loss_processes: Optional[List[Any]] = None
     profile: Any = "tfrc"
     control: str = "basic"
+    method: str = "montecarlo"
     num_events: int = 20_000
     seed: Optional[int] = None
     share_noise: bool = True
@@ -296,8 +329,17 @@ class BatchConfig:
             raise ValueError("batch needs at least one history length")
         if self.control not in _CONTROLS:
             raise ValueError(f"control must be one of {_CONTROLS}")
+        if self.method not in _METHODS:
+            raise ValueError(f"method must be one of {_METHODS}")
         if self.num_events < 10:
             raise ValueError("num_events must be at least 10")
+        if self.method == "analytic" and self.num_events < 100:
+            # The scalar analytic entry points reject num_samples < 100;
+            # the batch must not accept grids its scalar equivalent
+            # would fail point for point.
+            raise ValueError(
+                "method='analytic' needs num_events of at least 100"
+            )
         rate_form = (
             self.loss_event_rates is not None
             and self.coefficients_of_variation is not None
@@ -538,6 +580,183 @@ def _per_point_arrays(
     return kept, estimates, candidates, seeds
 
 
+def _normalized_weight_array(weights: np.ndarray) -> np.ndarray:
+    """The scalar analytic entry points' weight normalisation, verbatim."""
+    weight_array = np.asarray(list(weights), dtype=float)
+    return weight_array / weight_array.sum()
+
+
+def _analytic_point_samples(
+    process: Any, num_samples: int, window: int, seed: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw one point's integration sample exactly as the scalar path.
+
+    Same generator, same draw order (``num_samples * window`` window
+    entries first, then ``num_samples`` next intervals), so a matched
+    seed reproduces the scalar result.
+    """
+    rng = make_rng(seed)
+    draws = process.sample_intervals(num_samples * window, rng).reshape(
+        num_samples, window
+    )
+    intervals = process.sample_intervals(num_samples, rng)
+    return draws, intervals
+
+
+def _run_batch_analytic(
+    config: BatchConfig,
+    formulas: Sequence[Any],
+    points: Sequence[Dict[str, Any]],
+    batch: "BatchResult",
+) -> None:
+    """Evaluate the grid through the Proposition 1/3 analytic kernels.
+
+    With ``share_noise=False`` every point is integrated over its own
+    derived-seed draws (scalar-identical); with ``share_noise=True`` (the
+    (p, cv) grid form) one base block of unit-exponential windows is
+    rescaled per point, and the basic control additionally goes through
+    the stratified factorised fast path -- see
+    :mod:`repro.montecarlo.vectorized_analytic`.
+    """
+    comprehensive = config.control == "comprehensive"
+    shared = config.uses_shared_noise
+    for point in points:
+        _require_iid(point["process"])
+    nominal_rates = np.asarray(
+        [point["process"].loss_event_rate for point in points], dtype=float
+    )
+    point_configs = [
+        _component_config(LOSS_PROCESSES, point["process"]) for point in points
+    ]
+    formula_configs = {
+        id(formula): _component_config(FORMULAS, formula)
+        for formula in formulas
+    }
+    lengths = [int(length) for length in config.history_lengths]
+    weight_arrays = {
+        length: _normalized_weight_array(config.profile_for(length).weights())
+        for length in lengths
+    }
+    if shared:
+        # One base block of unit-exponential windows for the whole grid
+        # (standard_exponential *is* exponential(scale=1), minus a scale
+        # pass), and one stacked matmul for every window length's base
+        # estimator sample: column j is w_{L_j} zero-padded to the
+        # longest window.
+        rng = make_rng(config.seed)
+        longest = max(lengths)
+        base_windows = rng.standard_exponential(
+            size=(config.num_events, longest)
+        )
+        base_intervals = (
+            rng.standard_exponential(size=config.num_events)
+            if comprehensive
+            else None
+        )
+        stacked_weights = np.zeros((longest, len(lengths)))
+        for column, length in enumerate(lengths):
+            stacked_weights[:length, column] = weight_arrays[length]
+        # (lengths, num_events), C-order: each window length's base
+        # estimator sample is a contiguous row for the sort below.
+        base_estimate_rows = np.matmul(
+            stacked_weights.T, base_windows.T
+        )
+        shifts = np.asarray([point["shift"] for point in points], dtype=float)
+        scales = np.asarray([point["scale"] for point in points], dtype=float)
+
+    for column, history_length in enumerate(lengths):
+        weights = weight_arrays[history_length]
+        seeds: List[Optional[int]]
+        intervals = estimates = next_estimates = None
+        representatives = probabilities = None
+        if shared:
+            seeds = [config.seed] * len(points)
+            base_estimates = base_estimate_rows[column]
+            if comprehensive:
+                base_next = np.concatenate(
+                    [base_intervals[:, None],
+                     base_windows[:, : history_length - 1]],
+                    axis=1,
+                ) @ weights
+                intervals = (
+                    shifts[:, None] + scales[:, None] * base_intervals[None, :]
+                )
+                estimates = (
+                    shifts[:, None] + scales[:, None] * base_estimates[None, :]
+                )
+                next_estimates = (
+                    shifts[:, None] + scales[:, None] * base_next[None, :]
+                )
+            else:
+                representatives, probabilities = stratified_representatives(
+                    base_estimates
+                )
+        else:
+            seeds = []
+            estimate_rows = []
+            next_rows = []
+            interval_rows = []
+            for point in points:
+                seed = config.point_seed(
+                    history_length=history_length, **point["axes"]
+                )
+                seeds.append(seed)
+                draws, theta = _analytic_point_samples(
+                    point["process"], config.num_events, history_length, seed
+                )
+                interval_rows.append(theta)
+                if comprehensive:
+                    now, nxt = analytic_window_estimates(draws, theta, weights)
+                    estimate_rows.append(now)
+                    next_rows.append(nxt)
+                else:
+                    estimate_rows.append(draws @ weights)
+            intervals = np.vstack(interval_rows)
+            estimates = np.vstack(estimate_rows)
+            if comprehensive:
+                next_estimates = np.vstack(next_rows)
+
+        for formula in formulas:
+            if comprehensive:
+                throughputs = comprehensive_throughput_rows(
+                    formula, intervals, estimates, next_estimates,
+                    float(weights[0]),
+                )
+            elif shared:
+                throughputs = affine_basic_throughput_rows(
+                    formula, shifts, scales, representatives, probabilities
+                )
+            else:
+                throughputs = basic_throughput_rows(
+                    formula, intervals, estimates
+                )
+            normalized = throughputs / np.asarray(
+                formula.rate(nominal_rates), dtype=float
+            )
+            formula_config = formula_configs[id(formula)]
+            for row, point in enumerate(points):
+                batch.results.append(
+                    SimResult(
+                        control=config.control,
+                        method="analytic",
+                        formula=formula_config,
+                        loss_process=point_configs[row],
+                        history_length=history_length,
+                        num_events=config.num_events,
+                        seed=seeds[row],
+                        loss_event_rate=point["loss_event_rate"],
+                        coefficient_of_variation=point[
+                            "coefficient_of_variation"
+                        ],
+                        throughput=float(throughputs[row]),
+                        normalized_throughput=float(normalized[row]),
+                        empirical_loss_event_rate=float("nan"),
+                        interval_estimate_covariance=float("nan"),
+                        estimator_cv=float("nan"),
+                    )
+                )
+
+
 def simulate_batch(
     config: Union[BatchConfig, Mapping[str, Any]]
 ) -> BatchResult:
@@ -546,7 +765,9 @@ def simulate_batch(
     The sampled interval block (and its sliding-window estimator arrays)
     for each (loss model, L) pair is computed once and reused across all
     formula variants; with ``share_noise=True`` a single base block is
-    additionally shared across every (p, cv) point.
+    additionally shared across every (p, cv) point.  With
+    ``method="analytic"`` the grid goes through the vectorised
+    Proposition 1/3 kernels instead of the control simulation.
     """
     if isinstance(config, Mapping):
         config = BatchConfig.from_dict(config)
@@ -556,6 +777,9 @@ def simulate_batch(
     shared = config.uses_shared_noise
 
     batch = BatchResult(config=config)
+    if config.method == "analytic":
+        _run_batch_analytic(config, formulas, points, batch)
+        return batch
     for history_length in config.history_lengths:
         profile = config.profile_for(int(history_length))
         weights = profile.weights()

@@ -17,6 +17,8 @@ Single evaluation points -- and vectorised grids -- go through the
         "good_to_bad": 0.05, "bad_to_good": 0.4}'
     python -m repro.cli simulate --batch --loss-rates 0.01 0.1 0.4 \
         --windows 1 4 16 --formulas sqrt pftk-simplified
+    python -m repro.cli simulate --batch --method analytic \
+        --loss-rates 0.01 0.1 0.4 --windows 1 4 16
 
 Whole campaigns (grids of scenarios run in parallel with a persistent
 result store) go through the ``experiments`` sub-command::
@@ -47,7 +49,13 @@ from .analysis import (
     throughput_ratio,
 )
 from .core import SqrtFormula
-from .experiments import ExperimentRunner, ExperimentSpec, preset, preset_names
+from .experiments import (
+    ExperimentRunner,
+    ExperimentSpec,
+    preset,
+    preset_names,
+    run_campaign_batched,
+)
 from .montecarlo import sweep_loss_event_rate
 from .simulator import AudioSource, Simulator, ns2_config, run_dumbbell
 
@@ -188,10 +196,6 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
         json.loads(arguments.loss_process) if arguments.loss_process else None
     )
     if arguments.batch:
-        if arguments.method != "montecarlo":
-            raise SystemExit(
-                "simulate --batch supports only --method montecarlo"
-            )
         batch = api.simulate_batch(
             api.BatchConfig(
                 formulas=[
@@ -207,6 +211,7 @@ def _command_simulate(arguments: argparse.Namespace) -> int:
                 loss_processes=[loss_process] if loss_process else None,
                 history_lengths=[int(window) for window in arguments.windows],
                 control=arguments.control,
+                method=arguments.method,
                 num_events=arguments.events,
                 seed=arguments.seed,
                 share_noise=not arguments.independent_noise,
@@ -301,17 +306,25 @@ def _command_experiments_show(arguments: argparse.Namespace) -> int:
 def _command_experiments_run(arguments: argparse.Namespace) -> int:
     spec = _load_spec(arguments)
 
-    def progress(completed: int, total: int, result) -> None:
-        if not arguments.quiet:
-            print(
-                f"[{completed}/{total}] point {result.point.index} "
-                f"{result.point.axes} -> {result.status}"
+    if arguments.batched:
+        if arguments.store:
+            raise SystemExit(
+                "experiments run --batched does not take --store; result "
+                "caching stays with the per-point runner"
             )
+        campaign = run_campaign_batched(spec, workers=arguments.workers)
+    else:
+        def progress(completed: int, total: int, result) -> None:
+            if not arguments.quiet:
+                print(
+                    f"[{completed}/{total}] point {result.point.index} "
+                    f"{result.point.axes} -> {result.status}"
+                )
 
-    runner = ExperimentRunner(
-        workers=arguments.workers, store=arguments.store, progress=progress
-    )
-    campaign = runner.run(spec, force=arguments.force)
+        runner = ExperimentRunner(
+            workers=arguments.workers, store=arguments.store, progress=progress
+        )
+        campaign = runner.run(spec, force=arguments.force)
 
     rows = []
     for result in campaign.results:
@@ -457,6 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="JSONL result store path (enables caching)")
     experiments_run.add_argument("--force", action="store_true",
                                  help="re-run points even when cached")
+    experiments_run.add_argument("--batched", action="store_true",
+                                 help="route eligible grids through the "
+                                      "vectorised kernels (matched seeds); "
+                                      "others fall back to the process pool")
     experiments_run.add_argument("--quiet", action="store_true",
                                  help="suppress per-point progress lines")
     experiments_run.set_defaults(handler=_command_experiments_run)

@@ -24,7 +24,9 @@ from .registry import (
     preset_names,
     register_runner,
     resolve_runner,
+    run_campaign_batched,
     runner_kinds,
+    spec_to_batch_config,
 )
 from .runner import CampaignResult, ExperimentRunner, PointResult, execute_point
 from .spec import ExperimentPoint, ExperimentSpec, grid
@@ -42,6 +44,8 @@ __all__ = [
     "register_runner",
     "resolve_runner",
     "runner_kinds",
+    "spec_to_batch_config",
+    "run_campaign_batched",
     "formula_to_params",
     "formula_from_params",
     "preset",

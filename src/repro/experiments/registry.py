@@ -16,6 +16,14 @@ component API in :mod:`repro.api`:
     :func:`repro.simulator.run_dumbbell` on a registered scenario family
     (a ``scenario`` config, or the legacy flat ``family`` form),
     summarised per flow and per TFRC/TCP pair.
+``dumbbell-batch``
+    One scenario family evaluated over several replications in a single
+    point: the scenario config is resolved and its
+    :class:`~repro.simulator.scenarios.DumbbellConfig` (the topology
+    description) built once, and the replications re-run the simulator
+    from that shared description with only the seed varying.  A campaign
+    whose grid sweeps ``scenario`` configs therefore resolves each
+    family exactly once per point.
 ``audio``
     The Claim 2 / Figure 6 audio source through a Bernoulli dropper.
 
@@ -23,23 +31,32 @@ Custom kinds can be registered with :func:`register_runner`; the function
 must live at module level so it survives pickling into worker processes.
 
 :func:`preset` returns ready-made :class:`~repro.experiments.spec.
-ExperimentSpec` campaigns for the paper's figure scenarios.
+ExperimentSpec` campaigns for the paper's figure scenarios, and
+:func:`run_campaign_batched` is the batched campaign front-end: specs
+whose grid is expressible as an :class:`~repro.api.simulate.BatchConfig`
+(the montecarlo / analytic numerical-experiment grids) are fanned
+through the vectorised kernels of :func:`repro.api.simulate_batch`,
+everything else falls back to the :class:`~repro.experiments.runner.
+ExperimentRunner` process pool.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..api.components import FORMULAS, SCENARIOS
-from ..api.simulate import SimConfig
+from ..api.simulate import BatchConfig, SimConfig
 from ..api.simulate import simulate as _simulate_point
+from ..api.simulate import simulate_batch as _simulate_batch
 from ..core.formulas import LossThroughputFormula, PftkStandardFormula
 from ..montecarlo.sweeps import (
     FIGURE3_CV,
     FIGURE3_HISTORY_LENGTHS,
     FIGURE3_LOSS_RATES,
     FIGURE4_CVS,
+    derive_point_seed,
 )
 from .spec import ExperimentSpec
 
@@ -49,6 +66,8 @@ __all__ = [
     "runner_kinds",
     "formula_to_params",
     "formula_from_params",
+    "spec_to_batch_config",
+    "run_campaign_batched",
     "preset",
     "preset_names",
     "PRESETS",
@@ -303,6 +322,72 @@ def run_dumbbell_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[s
     }
 
 
+def run_dumbbell_batch(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One scenario family over several replications of its topology.
+
+    The point's ``scenario`` config (or legacy flat form) is resolved a
+    single time, and :meth:`~repro.api.scenarios.ScenarioFamily.build`
+    is called once -- every replication re-runs the simulator from that
+    shared :class:`~repro.simulator.scenarios.DumbbellConfig`, with only
+    the seed varying (derived per replication with the same hashed
+    scheme the campaign grid uses).  Returns per-replication
+    friendliness ratios plus their mean over the finite values.
+    """
+    from ..analysis.breakdown import loss_rate_ratio, throughput_ratio
+    from ..simulator.scenarios import run_dumbbell
+
+    scenario = _scenario_from_params(params)
+    family = SCENARIOS.to_config(scenario)["kind"]
+    replications = int(params.get("replications", 1))
+    if replications < 1:
+        raise ValueError("replications must be at least 1")
+    base_config = scenario.build(seed)
+    num_connections = int(
+        getattr(scenario, "num_connections", base_config.num_tfrc)
+    )
+
+    runs: List[Dict[str, Any]] = []
+    for replication in range(replications):
+        rep_seed = (
+            seed
+            if replications == 1
+            else derive_point_seed(seed, replication=replication)
+        )
+        result = run_dumbbell(
+            dataclasses.replace(base_config, seed=rep_seed)
+        )
+        try:
+            ratio_loss = _float_or_nan(loss_rate_ratio(result))
+        except ValueError:
+            ratio_loss = float("nan")
+        try:
+            ratio_throughput = _float_or_nan(throughput_ratio(result))
+        except ValueError:
+            ratio_throughput = float("nan")
+        runs.append(
+            {
+                "replication": replication,
+                "seed": rep_seed,
+                "loss_rate_ratio": ratio_loss,
+                "throughput_ratio": ratio_throughput,
+                "measured_duration": float(result.measured_duration),
+            }
+        )
+
+    def _finite_mean(key: str) -> float:
+        values = [run[key] for run in runs if math.isfinite(run[key])]
+        return float(sum(values) / len(values)) if values else float("nan")
+
+    return {
+        "family": family,
+        "num_connections": num_connections,
+        "replications": replications,
+        "loss_rate_ratio": _finite_mean("loss_rate_ratio"),
+        "throughput_ratio": _finite_mean("throughput_ratio"),
+        "runs": runs,
+    }
+
+
 def run_audio_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
     """Claim 2 / Figure 6: one audio source through a Bernoulli dropper."""
     from ..simulator.engine import Simulator
@@ -345,7 +430,207 @@ def run_audio_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str,
 register_runner("montecarlo-basic", run_montecarlo_basic)
 register_runner("montecarlo-comprehensive", run_montecarlo_comprehensive)
 register_runner("dumbbell", run_dumbbell_scenario)
+register_runner("dumbbell-batch", run_dumbbell_batch)
 register_runner("audio", run_audio_scenario)
+
+
+# ----------------------------------------------------------------------
+# Batched campaign front-end
+# ----------------------------------------------------------------------
+_BATCHABLE_RUNNERS = {
+    "montecarlo-basic": "basic",
+    "montecarlo-comprehensive": "comprehensive",
+}
+_BATCH_AXIS_NAMES = frozenset(
+    {"history_length", "loss_event_rate", "coefficient_of_variation",
+     "loss_process"}
+)
+_BATCH_BASE_KEYS = frozenset(
+    {"formula", "num_events", "method", "history_length", "loss_event_rate",
+     "coefficient_of_variation", "loss_process"}
+)
+
+
+def spec_to_batch_config(spec: ExperimentSpec) -> Optional[BatchConfig]:
+    """Translate an eligible campaign spec into a matched-seed batch.
+
+    Returns a ``share_noise=False`` :class:`~repro.api.simulate.
+    BatchConfig` whose per-point seeds equal the spec expansion's (so the
+    vectorised grid reproduces the process-pool campaign point for
+    point), or ``None`` when the spec is not batchable: non-montecarlo
+    runners, axes or base parameters outside the numerical-experiment
+    set, *single-valued grid axes* -- those enter the spec's seed
+    derivation but correspond to ``base`` parameters of a batch, so the
+    seeds would no longer match -- or axis values whose types the batch
+    would coerce (an integer ``1`` where the batch derives from ``1.0``
+    canonicalises differently inside ``derive_point_seed``, silently
+    reseeding the point).
+    """
+    control = _BATCHABLE_RUNNERS.get(spec.runner)
+    if control is None:
+        return None
+    if set(spec.grid) - _BATCH_AXIS_NAMES:
+        return None
+    if set(spec.base) - _BATCH_BASE_KEYS:
+        return None
+    if any(len(values) < 2 for values in spec.grid.values()):
+        return None
+    if "formula" not in spec.base:
+        return None
+
+    def axis(name: str) -> Optional[List[Any]]:
+        if name in spec.grid:
+            return list(spec.grid[name])
+        if name in spec.base:
+            return [spec.base[name]]
+        return None
+
+    processes = axis("loss_process")
+    rates = axis("loss_event_rate")
+    cvs = axis("coefficient_of_variation")
+    if processes is not None and (rates is not None or cvs is not None):
+        return None  # the montecarlo runner rejects this combination
+    if processes is None and (rates is None or cvs is None):
+        return None  # the classic form requires both axes, like the runner
+    lengths = axis("history_length") or [8]
+
+    # Seed fidelity: the batch derives seeds from int window lengths and
+    # float rate/cv values.  A *grid* value of a different type (e.g. the
+    # int 1 a JSON spec naturally carries for cv) canonicalises
+    # differently inside derive_point_seed, so such specs must fall back
+    # to the per-point runner rather than silently reseed.  Base values
+    # are single-valued axes, excluded from both derivations.
+    expected_types = {
+        "history_length": lambda v: isinstance(v, int)
+        and not isinstance(v, bool),
+        "loss_event_rate": lambda v: isinstance(v, float),
+        "coefficient_of_variation": lambda v: isinstance(v, float),
+        # Process *instances* canonicalise via str() in the spec path but
+        # via their canonical config dict in the batch path; only data
+        # configs derive identically on both sides.
+        "loss_process": lambda v: isinstance(v, (str, Mapping)),
+    }
+    for name, values in spec.grid.items():
+        check = expected_types.get(name)
+        if check is not None and not all(check(value) for value in values):
+            return None
+    try:
+        return BatchConfig(
+            formulas=[spec.base["formula"]],
+            history_lengths=list(lengths),
+            loss_event_rates=None if processes is not None else list(rates),
+            coefficients_of_variation=(
+                None if processes is not None else list(cvs)
+            ),
+            loss_processes=processes,
+            control=control,
+            method=str(spec.base.get("method", "montecarlo")),
+            num_events=int(spec.base.get("num_events", 40_000)),
+            seed=spec.seed,
+            share_noise=False,
+        )
+    except ValueError:
+        # Config-level validation failures (e.g. an analytic spec whose
+        # num_events is below the scalar floor) go to the per-point
+        # runner, which records them as error rows point by point.
+        return None
+
+
+def run_campaign_batched(spec: ExperimentSpec, workers: Optional[int] = None):
+    """Run a campaign through the vectorised kernels where eligible.
+
+    Specs that :func:`spec_to_batch_config` can express are evaluated in
+    one :func:`repro.api.simulate_batch` call (montecarlo or analytic
+    kernels, matched per-point seeds); anything else -- dumbbell /
+    dumbbell-batch / audio campaigns, custom runners, grids outside the
+    batch axes -- falls back to the
+    :class:`~repro.experiments.runner.ExperimentRunner` process pool
+    with ``workers`` processes.  Returns a
+    :class:`~repro.experiments.runner.CampaignResult` either way, in
+    grid-expansion order.  Result caching stays with the pool path: pass
+    a store to :class:`ExperimentRunner` directly when persistence
+    matters more than batch speed.
+    """
+    from .runner import CampaignResult, ExperimentRunner, PointResult
+
+    config = spec_to_batch_config(spec)
+    if config is None:
+        return ExperimentRunner(workers=workers).run(spec)
+
+    try:
+        batch = _simulate_batch(config)
+    except Exception:
+        # A whole-grid evaluation has no per-point isolation: one bad
+        # point (a correlated process under method="analytic", a
+        # Prop-3-incompatible formula, ...) would abort every point.
+        # Re-run through the pool, which records that point as an
+        # error row and completes the rest -- the campaign contract.
+        return ExperimentRunner(workers=workers).run(spec)
+    points = spec.expand()
+    # simulate_batch iterates history lengths, then formulas (one here),
+    # then grid points in _batch_points order; index the results by
+    # (history length, point) to re-emit them in spec-expansion order.
+    num_points = (
+        len(config.loss_processes)
+        if config.loss_processes is not None
+        else len(config.loss_event_rates) * len(config.coefficients_of_variation)
+    )
+    by_axes: Dict[Any, Any] = {}
+    for index, result in enumerate(batch.results):
+        length_index = index // num_points
+        point_index = index % num_points
+        if config.loss_processes is not None:
+            point_key = ("loss_process", point_index)
+        else:
+            rate_index = point_index // len(config.coefficients_of_variation)
+            cv_index = point_index % len(config.coefficients_of_variation)
+            point_key = (
+                config.loss_event_rates[rate_index],
+                config.coefficients_of_variation[cv_index],
+            )
+        by_axes[(config.history_lengths[length_index], point_key)] = result
+
+    campaign = CampaignResult(spec=spec)
+    for point in points:
+        length = int(point.params.get("history_length", 8))
+        if config.loss_processes is not None:
+            point_key = (
+                "loss_process",
+                config.loss_processes.index(point.params["loss_process"]),
+            )
+        else:
+            point_key = (
+                float(point.params["loss_event_rate"]),
+                float(point.params["coefficient_of_variation"]),
+            )
+        result = by_axes[(length, point_key)]
+        value = {
+            "loss_event_rate": (
+                float(point.params["loss_event_rate"])
+                if "loss_event_rate" in point.params
+                else result.loss_event_rate
+            ),
+            "coefficient_of_variation": (
+                float(point.params["coefficient_of_variation"])
+                if "coefficient_of_variation" in point.params
+                else None
+            ),
+            "history_length": int(result.history_length),
+            "normalized_throughput": float(result.normalized_throughput),
+            "throughput": float(result.throughput),
+            "interval_estimate_covariance": float(
+                result.interval_estimate_covariance
+            ),
+            "estimator_cv": float(result.estimator_cv),
+            "empirical_loss_event_rate": float(
+                result.empirical_loss_event_rate
+            ),
+            "num_events": int(result.num_events),
+        }
+        campaign.results.append(
+            PointResult(point=point, status="ok", value=value)
+        )
+    return campaign
 
 
 # ----------------------------------------------------------------------
@@ -461,6 +746,33 @@ def _fig16_spec() -> ExperimentSpec:
     )
 
 
+def _fig5_batch_spec() -> ExperimentSpec:
+    """Figure-5-style dumbbell campaign through the batched runner.
+
+    The grid sweeps ``scenario`` configs directly (the ns-2 family at
+    three flow counts); each point runs two replications from the one
+    topology description built for its scenario config, averaging the
+    TFRC/TCP friendliness ratios over the replications.
+    """
+    return ExperimentSpec(
+        name="fig5-ns2-batch",
+        runner="dumbbell-batch",
+        base={"replications": 2},
+        grid={
+            "scenario": [
+                {"kind": "ns2", "num_connections": n, "duration": 60.0}
+                for n in (1, 2, 4)
+            ]
+        },
+        seed=510,
+        description=(
+            "Figure 5 (batched): ns-2 dumbbell scenario grid, 2 "
+            "replications per scenario from one built topology "
+            "description, mean TFRC/TCP ratios."
+        ),
+    )
+
+
 def _smoke_spec() -> ExperimentSpec:
     return ExperimentSpec(
         name="smoke",
@@ -521,6 +833,7 @@ PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
     "fig4-low-loss": lambda: _fig4_spec(0.01, "low-loss"),
     "fig4-high-loss": lambda: _fig4_spec(0.1, "high-loss"),
     "fig5-ns2": _fig5_spec,
+    "fig5-ns2-batch": _fig5_batch_spec,
     "fig6-audio": _fig6_spec,
     "fig11-internet": _fig11_spec,
     "fig16-lab": _fig16_spec,

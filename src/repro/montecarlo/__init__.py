@@ -26,10 +26,24 @@ from .vectorized import (
     vectorized_control_summaries,
     vectorized_control_trace,
 )
+from .vectorized_analytic import (
+    affine_basic_throughput_rows,
+    analytic_window_estimates,
+    basic_throughput_rows,
+    comprehensive_throughput_rows,
+    inverse_rate_of_interval,
+    stratified_representatives,
+)
 
 __all__ = [
     "vectorized_control_trace",
     "vectorized_control_summaries",
+    "inverse_rate_of_interval",
+    "analytic_window_estimates",
+    "basic_throughput_rows",
+    "comprehensive_throughput_rows",
+    "stratified_representatives",
+    "affine_basic_throughput_rows",
     "BasicControlResult",
     "simulate_basic_control",
     "analytic_basic_throughput",

@@ -534,3 +534,297 @@ class TestJsonCampaigns:
         campaign = ExperimentRunner().run(spec)
         campaign.raise_errors()
         assert campaign.results[0].value["history_length"] == 4
+
+
+# ----------------------------------------------------------------------
+# Analytic batch mode (Proposition 1/3 vectorised kernels)
+# ----------------------------------------------------------------------
+IID_PROCESS_KINDS = sorted(
+    kind
+    for kind, example in api.LOSS_PROCESSES.examples().items()
+    if getattr(example, "is_iid", False)
+)
+
+
+class TestAnalyticBatch:
+    def test_every_iid_kind_is_covered(self):
+        # The parametrised equivalence below must span every registered
+        # i.i.d. loss process; a newly registered kind lands here.
+        assert IID_PROCESS_KINDS == [
+            "deterministic", "empirical", "gamma", "geometric", "lognormal",
+            "shifted-exponential",
+        ]
+
+    @pytest.mark.parametrize("kind", IID_PROCESS_KINDS)
+    @pytest.mark.parametrize("control", ["basic", "comprehensive"])
+    def test_batch_equals_scalar_for_every_iid_process(self, kind, control):
+        process_config = api.LOSS_PROCESSES.to_config(
+            api.LOSS_PROCESSES.examples()[kind]
+        )
+        batch_config = api.BatchConfig(
+            formulas=["sqrt", "pftk-simplified"],
+            loss_processes=[process_config],
+            history_lengths=[2, 8],
+            control=control,
+            method="analytic",
+            num_events=600,
+            seed=29,
+            share_noise=False,
+        )
+        batch = api.simulate_batch(batch_config)
+        assert len(batch) == 4
+        for result in batch.results:
+            assert result.method == "analytic"
+            assert np.isnan(result.empirical_loss_event_rate)
+            scalar = api.simulate(api.SimConfig(
+                formula=result.formula,
+                loss_process=process_config,
+                history_length=result.history_length,
+                control=control,
+                method="analytic",
+                num_events=result.num_events,
+                seed=batch_config.point_seed(
+                    history_length=result.history_length,
+                    loss_process=process_config,
+                ),
+            ))
+            assert np.isclose(
+                result.throughput, scalar.throughput, rtol=1e-9
+            )
+            assert np.isclose(
+                result.normalized_throughput,
+                scalar.normalized_throughput,
+                rtol=1e-9,
+            )
+
+    @pytest.mark.parametrize("control", ["basic", "comprehensive"])
+    def test_rate_cv_grid_equals_scalar(self, control):
+        batch_config = api.BatchConfig(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.05, 0.2],
+            coefficients_of_variation=[0.9],
+            history_lengths=[1, 8],
+            control=control,
+            method="analytic",
+            num_events=800,
+            seed=37,
+            share_noise=False,
+        )
+        batch = api.simulate_batch(batch_config)
+        for result in batch.results:
+            scalar = api.simulate(api.SimConfig(
+                formula=result.formula,
+                loss_event_rate=result.loss_event_rate,
+                coefficient_of_variation=result.coefficient_of_variation,
+                history_length=result.history_length,
+                control=control,
+                method="analytic",
+                num_events=result.num_events,
+                seed=batch_config.point_seed(
+                    history_length=result.history_length,
+                    loss_event_rate=result.loss_event_rate,
+                    coefficient_of_variation=result.coefficient_of_variation,
+                ),
+            ))
+            assert np.isclose(
+                result.normalized_throughput,
+                scalar.normalized_throughput,
+                rtol=1e-9,
+            )
+
+    def test_analytic_agrees_with_montecarlo_on_fig3_grid(self):
+        """Analytic (shared fast path) and Monte-Carlo batch estimates of
+        the same fig3-style grid agree within a Monte-Carlo band."""
+        common = dict(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.05, 0.2],
+            coefficients_of_variation=[0.999],
+            history_lengths=[4, 8, 16],
+            num_events=30_000,
+            seed=41,
+        )
+        analytic = api.simulate_batch(
+            api.BatchConfig(method="analytic", **common))
+        montecarlo = api.simulate_batch(
+            api.BatchConfig(method="montecarlo", **common))
+        assert len(analytic) == len(montecarlo) == 6
+        for a, m in zip(analytic.results, montecarlo.results):
+            assert (a.history_length, a.loss_event_rate) == (
+                m.history_length, m.loss_event_rate)
+            assert np.isclose(
+                a.normalized_throughput, m.normalized_throughput, atol=0.05
+            ), (a.history_length, a.loss_event_rate,
+                a.normalized_throughput, m.normalized_throughput)
+
+    def test_shared_path_close_to_matched_path(self):
+        common = dict(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.1],
+            coefficients_of_variation=[0.9],
+            history_lengths=[8],
+            method="analytic",
+            num_events=30_000,
+            seed=43,
+        )
+        shared = api.simulate_batch(api.BatchConfig(share_noise=True, **common))
+        matched = api.simulate_batch(
+            api.BatchConfig(share_noise=False, **common))
+        assert np.isclose(
+            shared.results[0].normalized_throughput,
+            matched.results[0].normalized_throughput,
+            atol=0.04,
+        )
+
+    def test_comprehensive_not_below_basic_in_batch(self):
+        common = dict(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.2],
+            coefficients_of_variation=[0.9],
+            history_lengths=[8],
+            method="analytic",
+            num_events=20_000,
+            seed=47,
+        )
+        basic = api.simulate_batch(api.BatchConfig(control="basic", **common))
+        comprehensive = api.simulate_batch(
+            api.BatchConfig(control="comprehensive", **common))
+        assert (comprehensive.results[0].throughput
+                >= basic.results[0].throughput)
+
+    def test_correlated_process_rejected(self):
+        with pytest.raises(ValueError, match="i.i.d."):
+            api.simulate_batch(api.BatchConfig(
+                formulas=["sqrt"],
+                loss_processes=[{"kind": "two-phase", "good_mean": 40.0,
+                                 "bad_mean": 8.0, "switch_probability": 0.2}],
+                history_lengths=[4],
+                method="analytic",
+                num_events=500,
+                seed=1,
+            ))
+
+    def test_comprehensive_analytic_requires_closed_form_formula(self):
+        with pytest.raises(TypeError):
+            api.simulate_batch(api.BatchConfig(
+                formulas=["pftk-standard"],
+                loss_event_rates=[0.1],
+                coefficients_of_variation=[0.9],
+                history_lengths=[4],
+                control="comprehensive",
+                method="analytic",
+                num_events=500,
+                seed=1,
+            ))
+
+    def test_method_round_trips_and_validates(self):
+        config = api.BatchConfig(
+            formulas=["sqrt"],
+            loss_event_rates=[0.1],
+            coefficients_of_variation=[0.9],
+            history_lengths=[2],
+            method="analytic",
+            num_events=500,
+            seed=1,
+        )
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert api.BatchConfig.from_dict(payload) == config
+        with pytest.raises(ValueError, match="method"):
+            api.BatchConfig(
+                formulas=["sqrt"],
+                loss_event_rates=[0.1],
+                coefficients_of_variation=[0.9],
+                history_lengths=[2],
+                method="quadrature",
+            )
+        # The scalar analytic entry points reject num_samples < 100; the
+        # batch enforces the same floor rather than silently accepting
+        # grids its scalar equivalent would fail on.
+        with pytest.raises(ValueError, match="at least 100"):
+            api.BatchConfig(
+                formulas=["sqrt"],
+                loss_event_rates=[0.1],
+                coefficients_of_variation=[0.9],
+                history_lengths=[2],
+                method="analytic",
+                num_events=50,
+            )
+
+
+# ----------------------------------------------------------------------
+# The i.i.d. guard must reject processes that never declare the flag
+# ----------------------------------------------------------------------
+class _GuardlessProcess:
+    """Duck-typed loss process with no ``is_iid`` declaration at all.
+
+    Registered as a *virtual* LossProcess subclass: it passes the
+    registry's isinstance pass-through without inheriting any class
+    attribute, which is exactly the case the guard's default covers.
+    """
+
+    mean_interval = 25.0
+    loss_event_rate = 1.0 / 25.0
+
+    def sample_intervals(self, count, rng):
+        return rng.exponential(self.mean_interval, size=count)
+
+
+class TestIidGuardDefault:
+    def test_guardless_process_is_rejected_by_analytic(self):
+        from repro.lossprocess.base import LossProcess
+
+        LossProcess.register(_GuardlessProcess)
+        process = _GuardlessProcess()
+        assert not hasattr(process, "is_iid")
+        with pytest.raises(ValueError, match="i.i.d."):
+            api.simulate(api.SimConfig(
+                formula="sqrt", loss_process=process, method="analytic",
+                num_events=200, seed=1))
+        with pytest.raises(ValueError, match="i.i.d."):
+            api.simulate_batch(api.BatchConfig(
+                formulas=["sqrt"], loss_processes=[process],
+                history_lengths=[2], method="analytic",
+                num_events=200, seed=1))
+
+    def test_guardless_process_still_runs_montecarlo(self):
+        from repro.lossprocess.base import LossProcess
+
+        LossProcess.register(_GuardlessProcess)
+        result = api.simulate(api.SimConfig(
+            formula="sqrt", loss_process=_GuardlessProcess(),
+            num_events=300, seed=1))
+        assert result.throughput > 0.0
+
+
+# ----------------------------------------------------------------------
+# The vectorised analytic kernel helpers
+# ----------------------------------------------------------------------
+class TestVectorizedAnalyticKernel:
+    @pytest.mark.parametrize(
+        "formula",
+        [SqrtFormula(rtt=0.5), PftkSimplifiedFormula(rtt=1.0, rto=3.0),
+         PftkStandardFormula(rtt=1.0)],
+        ids=["sqrt", "pftk-simplified", "pftk-standard"],
+    )
+    def test_inverse_rate_matches_generic_form(self, formula):
+        from repro.montecarlo import inverse_rate_of_interval
+
+        x = np.geomspace(0.5, 400.0, 64)
+        fast = inverse_rate_of_interval(formula, x)
+        generic = 1.0 / np.asarray(formula.rate_of_interval(x), dtype=float)
+        assert np.allclose(fast, generic, rtol=1e-12)
+
+    def test_stratified_representatives_preserve_means(self):
+        from repro.montecarlo import stratified_representatives
+
+        sample = np.random.default_rng(5).exponential(2.0, size=10_001)
+        representatives, probabilities = stratified_representatives(
+            sample, num_strata=500)
+        assert representatives.size == 500
+        assert np.isclose(probabilities.sum(), 1.0)
+        # The stratified mean of the identity is the exact sample mean.
+        assert np.isclose(
+            representatives @ probabilities, sample.mean(), rtol=1e-12)
+        # And for a smooth integrand it tracks the full sample closely.
+        g = np.sqrt
+        assert np.isclose(
+            g(representatives) @ probabilities, g(sample).mean(), rtol=1e-4)

@@ -177,6 +177,31 @@ class TestExperimentsCommands:
         assert exit_code == 0
         assert "summary: 4/4 points succeeded, 0 failed" in captured.out
 
+    def test_run_batched_eligible_grid(self, capsys):
+        exit_code = main(["experiments", "run", "smoke", "--batched",
+                          "--quiet"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "summary: 4/4 points succeeded, 0 failed" in captured.out
+
+    def test_run_batched_rejects_store(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "run", "smoke", "--batched",
+                  "--store", "out.jsonl"])
+
+    def test_dumbbell_batch_spec_file_ships(self):
+        from pathlib import Path
+
+        from repro.experiments import ExperimentSpec
+
+        spec_path = (
+            Path(__file__).resolve().parent.parent
+            / "examples" / "specs" / "dumbbell_batch.json"
+        )
+        spec = ExperimentSpec.from_json(spec_path.read_text(encoding="utf-8"))
+        assert spec.runner == "dumbbell-batch"
+        assert spec.num_points() == 3
+
 
 class TestSimulateCommand:
     def test_single_point(self, capsys):
@@ -215,10 +240,33 @@ class TestSimulateCommand:
         with pytest.raises(SystemExit):
             main(["simulate", "--loss-rates", "0.05", "0.2", "--events", "200"])
 
-    def test_batch_rejects_analytic_method(self):
-        with pytest.raises(SystemExit):
-            main(["simulate", "--batch", "--method", "analytic",
-                  "--events", "200"])
+    def test_batch_analytic_method(self, capsys):
+        exit_code = main([
+            "simulate", "--batch", "--method", "analytic",
+            "--loss-rates", "0.05", "0.2", "--cvs", "0.9",
+            "--windows", "2", "8", "--events", "2000", "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Batch: 4 points" in captured.out
+        assert "shared noise" in captured.out
+
+    def test_batch_analytic_config_file(self, capsys, tmp_path):
+        from pathlib import Path
+
+        spec_path = (
+            Path(__file__).resolve().parent.parent
+            / "examples" / "specs" / "fig3_analytic_batch.json"
+        )
+        payload = json.loads(spec_path.read_text(encoding="utf-8"))
+        assert payload["method"] == "analytic"
+        payload["num_events"] = 2000  # keep the unit test fast
+        config_path = tmp_path / "analytic_batch.json"
+        config_path.write_text(json.dumps(payload))
+        exit_code = main(["simulate", "--config", str(config_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Batch: 45 points" in captured.out
 
     def test_config_file(self, capsys, tmp_path):
         config_path = tmp_path / "sim.json"

@@ -2,22 +2,24 @@
 
 import json
 
+import numpy as np
 import pytest
 
+from repro import api
 from repro.core import PftkSimplifiedFormula, SqrtFormula
 from repro.experiments import (
     ExperimentRunner,
     ExperimentSpec,
     ResultStore,
     execute_point,
-    formula_from_params,
-    formula_to_params,
     grid,
     preset,
     preset_names,
     register_runner,
     resolve_runner,
+    run_campaign_batched,
     runner_kinds,
+    spec_to_batch_config,
 )
 from repro.montecarlo import derive_point_seed, sweep_loss_event_rate
 
@@ -148,7 +150,15 @@ class TestRegistry:
 
     def test_formula_round_trip_is_exact(self):
         for formula in (SqrtFormula(rtt=0.5), PftkSimplifiedFormula(rtt=2.0)):
-            assert formula_from_params(formula_to_params(formula)) == formula
+            assert api.FORMULAS.from_config(
+                api.FORMULAS.to_config(formula)
+            ) == formula
+
+    def test_legacy_name_key_still_accepted(self):
+        # The pre-registry parameter shape used a "name" key; specs in the
+        # wild may still carry it, and from_config keeps accepting it.
+        formula = api.FORMULAS.from_config({"name": "sqrt", "rtt": 0.5})
+        assert formula == SqrtFormula(rtt=0.5)
 
     def test_presets_expand(self):
         assert "fig3-pftk" in preset_names()
@@ -324,7 +334,7 @@ class TestSweepIntegration:
             name="fig3-sized",
             runner="montecarlo-basic",
             base={
-                "formula": formula_to_params(formula),
+                "formula": api.FORMULAS.to_config(formula),
                 "coefficient_of_variation": 1.0 - 1.0 / 1000.0,
                 "num_events": num_events,
             },
@@ -350,3 +360,299 @@ class TestSweepIntegration:
         rerun = ExperimentRunner(workers=4, store=store_path).run(spec)
         assert rerun.num_cached == 45 and rerun.num_executed == 0
         assert [r.value for r in rerun.results] == [r.value for r in campaign.results]
+
+
+class TestMatchedSeeds:
+    """BatchConfig.point_seed must mirror spec expansion for every grid
+    family -- the audit behind the share_noise=False equivalence claims."""
+
+    def test_analytic_grid_seeds_match_campaign(self):
+        """Single-valued batch axes sit in the spec's base (excluded from
+        seed derivation); multi-valued axes are grid axes.  The derived
+        per-point seeds must coincide, including for analytic grids."""
+        config = api.BatchConfig(
+            formulas=["pftk-simplified"],
+            loss_event_rates=[0.05, 0.2],
+            coefficients_of_variation=[0.9],   # single-valued -> base
+            history_lengths=[2, 8],
+            method="analytic",
+            num_events=800,
+            seed=13,
+            share_noise=False,
+        )
+        spec = ExperimentSpec(
+            name="analytic-grid",
+            runner="montecarlo-basic",
+            base={
+                "formula": {"kind": "pftk-simplified", "rtt": 1.0},
+                "coefficient_of_variation": 0.9,
+                "num_events": 800,
+                "method": "analytic",
+            },
+            grid={
+                "history_length": [2, 8],
+                "loss_event_rate": [0.05, 0.2],
+            },
+            seed=13,
+        )
+        for point in spec.expand():
+            assert point.seed == config.point_seed(
+                history_length=point.axes["history_length"],
+                loss_event_rate=point.axes["loss_event_rate"],
+                coefficient_of_variation=0.9,
+            )
+        # And the values: campaign (scalar per point) == batch to 1e-9.
+        campaign = ExperimentRunner().run(spec)
+        campaign.raise_errors()
+        batch = api.simulate_batch(config)
+        values = {
+            (row["history_length"], row["loss_event_rate"]):
+                row["normalized_throughput"]
+            for row in campaign.values()
+        }
+        assert len(batch) == len(values)
+        for result in batch.results:
+            key = (result.history_length, result.loss_event_rate)
+            assert np.isclose(
+                result.normalized_throughput, values[key], rtol=1e-9
+            )
+
+    def test_loss_process_grid_seeds_match_campaign(self):
+        processes = [
+            {"kind": "gamma", "mean": 12.0, "cv": 0.8},
+            {"kind": "lognormal", "mean": 20.0, "cv": 0.6},
+        ]
+        config = api.BatchConfig(
+            formulas=["sqrt"],
+            loss_processes=processes,
+            history_lengths=[2, 8],
+            num_events=500,
+            seed=19,
+            share_noise=False,
+        )
+        spec = ExperimentSpec(
+            name="process-grid",
+            runner="montecarlo-basic",
+            base={"formula": {"kind": "sqrt", "rtt": 1.0}, "num_events": 500},
+            grid={"history_length": [2, 8], "loss_process": processes},
+            seed=19,
+        )
+        for point in spec.expand():
+            assert point.seed == config.point_seed(
+                history_length=point.axes["history_length"],
+                loss_process=point.axes["loss_process"],
+            )
+
+    def test_dumbbell_scenario_grid_seeds_are_axis_derived(self):
+        """A dumbbell-batch campaign derives its per-point seeds from the
+        scenario config axis with the same hash the batch facade uses."""
+        scenarios = [
+            {"kind": "ns2", "num_connections": n, "duration": 30.0}
+            for n in (1, 2)
+        ]
+        spec = ExperimentSpec(
+            name="dumbbell-grid",
+            runner="dumbbell-batch",
+            base={"replications": 2},
+            grid={"scenario": scenarios},
+            seed=23,
+        )
+        points = spec.expand()
+        for point, scenario in zip(points, scenarios):
+            assert point.seed == derive_point_seed(23, scenario=scenario)
+        assert len({point.seed for point in points}) == len(points)
+
+
+class TestBatchedCampaignFrontend:
+    def test_eligible_montecarlo_spec_matches_pool(self):
+        spec = small_montecarlo_spec(seed=31)
+        pool = ExperimentRunner().run(spec)
+        pool.raise_errors()
+        batched = run_campaign_batched(spec)
+        assert [r.point.index for r in batched.results] == [0, 1, 2, 3]
+        for a, b in zip(pool.results, batched.results):
+            assert a.point.axes == b.point.axes
+            assert np.isclose(
+                a.value["normalized_throughput"],
+                b.value["normalized_throughput"],
+                rtol=1e-9,
+            )
+            assert np.isclose(
+                a.value["throughput"], b.value["throughput"], rtol=1e-9
+            )
+
+    def test_analytic_spec_goes_through_batch(self):
+        spec = ExperimentSpec(
+            name="batched-analytic",
+            runner="montecarlo-basic",
+            base={
+                "formula": {"kind": "pftk-simplified", "rtt": 1.0},
+                "coefficient_of_variation": 0.9,
+                "num_events": 600,
+                "method": "analytic",
+            },
+            grid={"history_length": [2, 8], "loss_event_rate": [0.05, 0.2]},
+            seed=7,
+        )
+        config = spec_to_batch_config(spec)
+        assert config is not None and config.method == "analytic"
+        pool = ExperimentRunner().run(spec)
+        pool.raise_errors()
+        batched = run_campaign_batched(spec)
+        for a, b in zip(pool.results, batched.results):
+            assert np.isclose(
+                a.value["normalized_throughput"],
+                b.value["normalized_throughput"],
+                rtol=1e-9,
+            )
+
+    def test_single_valued_grid_axis_is_not_batchable(self):
+        """A single-valued grid axis enters the spec's seed derivation but
+        would be filtered by BatchConfig.point_seed, so such specs must
+        fall back to the per-point runner rather than silently reseed."""
+        spec = ExperimentSpec(
+            name="single-axis",
+            runner="montecarlo-basic",
+            base={"formula": "sqrt", "num_events": 500},
+            grid={
+                "history_length": [2, 8],
+                "loss_event_rate": [0.1],
+                "coefficient_of_variation": [0.9, 1.0],
+            },
+            seed=2,
+        )
+        assert spec_to_batch_config(spec) is None
+
+    def test_integer_typed_grid_values_are_not_batchable(self):
+        """An int grid value (the 1 a JSON spec naturally carries for cv)
+        canonicalises differently from the batch's float inside
+        derive_point_seed; batching it would silently reseed the point,
+        so such specs must fall back to the per-point runner."""
+        spec = ExperimentSpec(
+            name="int-cv",
+            runner="montecarlo-basic",
+            base={"formula": "sqrt", "loss_event_rate": 0.1,
+                  "num_events": 500},
+            grid={
+                "history_length": [2, 8],
+                "coefficient_of_variation": [0.5, 1],  # int 1
+            },
+            seed=2,
+        )
+        assert spec_to_batch_config(spec) is None
+        # With a float-typed grid the same spec is batchable and matches.
+        spec.grid["coefficient_of_variation"] = [0.5, 1.0]
+        assert spec_to_batch_config(spec) is not None
+        pool = ExperimentRunner().run(spec)
+        pool.raise_errors()
+        batched = run_campaign_batched(spec)
+        for a, b in zip(pool.results, batched.results):
+            assert np.isclose(
+                a.value["throughput"], b.value["throughput"], rtol=1e-9)
+
+    def test_loss_process_instance_grid_is_not_batchable(self):
+        """Process instances canonicalise via str() in the spec path but
+        via their canonical config in the batch path -- different seeds,
+        so instance grids must fall back to the per-point runner."""
+        instance = api.LOSS_PROCESSES.from_config(
+            {"kind": "gamma", "mean": 12.0, "cv": 0.8})
+        spec = ExperimentSpec(
+            name="instance-grid",
+            runner="montecarlo-basic",
+            base={"formula": "sqrt", "num_events": 400},
+            grid={
+                "history_length": [2, 8],
+                "loss_process": [instance,
+                                 {"kind": "lognormal", "mean": 20.0,
+                                  "cv": 0.6}],
+            },
+            seed=19,
+        )
+        assert spec_to_batch_config(spec) is None
+        pool = ExperimentRunner().run(spec)
+        pool.raise_errors()
+        batched = run_campaign_batched(spec)  # pool fallback
+        assert [r.value for r in batched.results] == [
+            r.value for r in pool.results]
+
+    def test_failing_point_falls_back_to_pool_isolation(self):
+        """A grid whose batch evaluation raises (here: one correlated
+        process under method='analytic') must degrade to the per-point
+        runner's error isolation instead of crashing the campaign."""
+        spec = ExperimentSpec(
+            name="mixed-iid",
+            runner="montecarlo-basic",
+            base={"formula": {"kind": "sqrt", "rtt": 1.0},
+                  "num_events": 400, "method": "analytic"},
+            grid={
+                "history_length": [2, 4],
+                "loss_process": [
+                    {"kind": "gamma", "mean": 12.0, "cv": 0.8},
+                    {"kind": "two-phase", "good_mean": 40.0,
+                     "bad_mean": 8.0, "switch_probability": 0.2},
+                ],
+            },
+            seed=3,
+        )
+        assert spec_to_batch_config(spec) is not None
+        campaign = run_campaign_batched(spec)
+        assert campaign.num_points == 4
+        assert campaign.num_executed == 2   # the gamma points succeed
+        assert campaign.num_failed == 2     # the correlated ones error
+        for failure in campaign.failures():
+            assert "i.i.d." in failure.error
+
+    def test_non_montecarlo_spec_falls_back(self):
+        spec = ExperimentSpec(
+            name="fallback",
+            runner="unit-failing",
+            grid={"explode": [False, False], "value": [1, 2]},
+        )
+        assert spec_to_batch_config(spec) is None
+        campaign = run_campaign_batched(spec)
+        assert campaign.num_points == 4
+        assert campaign.num_executed == 4
+
+
+class TestDumbbellBatchRunner:
+    def test_replications_rerun_shared_config_with_derived_seeds(self):
+        spec = ExperimentSpec(
+            name="dumbbell-batch-unit",
+            runner="dumbbell-batch",
+            base={"replications": 2},
+            grid={
+                "scenario": [
+                    {"kind": "ns2", "num_connections": 1, "duration": 15.0},
+                    {"kind": "ns2", "num_connections": 2, "duration": 15.0},
+                ]
+            },
+            seed=3,
+        )
+        campaign = run_campaign_batched(spec)
+        campaign.raise_errors()
+        assert campaign.num_points == 2
+        for result, connections in zip(campaign.results, (1, 2)):
+            value = result.value
+            assert value["family"] == "ns2"
+            assert value["num_connections"] == connections
+            assert value["replications"] == 2
+            assert len(value["runs"]) == 2
+            seeds = {run["seed"] for run in value["runs"]}
+            assert len(seeds) == 2  # per-replication derived seeds differ
+            assert value["throughput_ratio"] > 0.0
+
+    def test_single_replication_uses_point_seed_directly(self):
+        from repro.experiments.registry import run_dumbbell_batch
+
+        value = run_dumbbell_batch(
+            {"scenario": {"kind": "ns2", "num_connections": 1,
+                          "duration": 15.0}},
+            seed=11,
+        )
+        assert value["replications"] == 1
+        assert value["runs"][0]["seed"] == 11
+
+    def test_preset_registered(self):
+        spec = preset("fig5-ns2-batch")
+        assert spec.runner == "dumbbell-batch"
+        assert spec.num_points() == 3

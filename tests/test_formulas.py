@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.api.components import FORMULAS
 from repro.core.formulas import (
     AimdFormula,
     PftkSimplifiedFormula,
@@ -12,7 +13,6 @@ from repro.core.formulas import (
     SqrtFormula,
     default_c1,
     default_c2,
-    make_formula,
 )
 
 
@@ -203,13 +203,13 @@ class TestRegistry:
             ("aimd", AimdFormula),
         ],
     )
-    def test_make_formula(self, name, cls):
-        assert isinstance(make_formula(name), cls)
+    def test_from_config_by_kind(self, name, cls):
+        assert isinstance(FORMULAS.from_config(name), cls)
 
-    def test_make_formula_forwards_kwargs(self):
-        formula = make_formula("sqrt", rtt=0.25)
+    def test_from_config_forwards_kwargs(self):
+        formula = FORMULAS.from_config({"kind": "sqrt", "rtt": 0.25})
         assert formula.rtt == pytest.approx(0.25)
 
-    def test_make_formula_unknown_name(self):
+    def test_from_config_unknown_kind(self):
         with pytest.raises(KeyError):
-            make_formula("cubic")
+            FORMULAS.from_config("cubic")
