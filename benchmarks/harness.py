@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the benchmark harness in :mod:`repro.bench`.
+
+Equivalent to ``python -m repro.cli bench``; kept under ``benchmarks/``
+next to the figure benchmarks so the perf trajectory tooling lives with
+the rest of the benchmark code::
+
+    PYTHONPATH=src python benchmarks/harness.py --suite quick --repeats 3
+    PYTHONPATH=src python benchmarks/harness.py --dry-run
+
+Records ``BENCH_<n>.json`` at the repository root (``--dir``) and
+compares against the previous file; see ``--help`` for the regression
+gate options.
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ def generate_figure5():
     campaign.raise_errors()
     rows = []
     for result in campaign.results:
-        count = result.point.axes["num_connections"]
+        count = result.point.axes["scenario"]["num_connections"]
         for flow in result.value["flows"]:
             if flow["label"] != "tfrc" or flow["loss_event_rate"] <= 0.0:
                 continue

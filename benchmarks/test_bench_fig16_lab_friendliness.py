@@ -20,9 +20,10 @@ def generate_figure16():
     campaign.raise_errors()
     rows = []
     for result in campaign.results:
-        queue_type = result.point.axes["queue_type"]
+        scenario = result.point.axes["scenario"]
+        queue_type = scenario["queue_type"]
         queue_label = "DropTail 100" if queue_type == "droptail" else "RED"
-        count = result.point.axes["num_connections"]
+        count = scenario["num_connections"]
         for pair in result.value["pairs"]:
             rows.append(
                 [queue_label, count, pair["tfrc_loss_event_rate"],

@@ -29,6 +29,10 @@ api
     family (formulas, loss processes, weight profiles, scenarios) with
     exact JSON round-trip, plus the ``simulate()`` / ``simulate_batch()``
     facade.
+telemetry
+    Dependency-free tracing spans and metrics (counters, gauges,
+    histograms) threaded through the hot layers; off by default, toggled
+    with ``REPRO_TELEMETRY=1`` or ``repro.telemetry.enable()``.
 """
 
 from . import (
@@ -40,6 +44,7 @@ from . import (
     montecarlo,
     palm,
     simulator,
+    telemetry,
 )
 
 __version__ = "1.1.0"
@@ -53,5 +58,6 @@ __all__ = [
     "montecarlo",
     "palm",
     "simulator",
+    "telemetry",
     "__version__",
 ]

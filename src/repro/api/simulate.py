@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..lossprocess.base import make_rng
 from ..lossprocess.iid import ShiftedExponentialIntervals
 from ..montecarlo.basic import analytic_basic_throughput, simulate_basic_control
@@ -225,6 +226,16 @@ def simulate(config: Union[SimConfig, Mapping[str, Any]]) -> SimResult:
     """Evaluate one point described by a :class:`SimConfig`."""
     if isinstance(config, Mapping):
         config = SimConfig.from_dict(config)
+    with telemetry.span(
+        "api.simulate",
+        method=config.method,
+        control=config.control,
+        num_events=config.num_events,
+    ):
+        return _simulate_resolved(config)
+
+
+def _simulate_resolved(config: SimConfig) -> SimResult:
     formula = config.resolve_formula()
     process = config.resolve_loss_process()
     profile = config.resolve_profile()
@@ -773,13 +784,38 @@ def simulate_batch(
         config = BatchConfig.from_dict(config)
     formulas = [FORMULAS.from_config(formula) for formula in config.formulas]
     points = _batch_points(config)
-    comprehensive = config.control == "comprehensive"
     shared = config.uses_shared_noise
 
     batch = BatchResult(config=config)
-    if config.method == "analytic":
-        _run_batch_analytic(config, formulas, points, batch)
-        return batch
+    with telemetry.span(
+        "api.simulate_batch",
+        method=config.method,
+        control=config.control,
+        grid_points=len(points),
+        formulas=len(formulas),
+        history_lengths=len(config.history_lengths),
+        num_events=config.num_events,
+        shared_noise=shared,
+    ) as batch_span:
+        if config.method == "analytic":
+            _run_batch_analytic(config, formulas, points, batch)
+        else:
+            _run_batch_montecarlo(config, formulas, points, batch)
+        batch_span.set("items", len(batch.results))
+        telemetry.incr("api.batch.calls")
+        telemetry.incr("api.batch.rows", len(batch.results))
+    return batch
+
+
+def _run_batch_montecarlo(
+    config: BatchConfig,
+    formulas: Sequence[Any],
+    points: Sequence[Dict[str, Any]],
+    batch: "BatchResult",
+) -> None:
+    """Evaluate the grid through the vectorised control-simulation kernel."""
+    comprehensive = config.control == "comprehensive"
+    shared = config.uses_shared_noise
     for history_length in config.history_lengths:
         profile = config.profile_for(int(history_length))
         weights = profile.weights()
@@ -833,4 +869,3 @@ def simulate_batch(
                         estimator_cv=float(summaries["estimator_cv"][row]),
                     )
                 )
-    return batch

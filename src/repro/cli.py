@@ -28,6 +28,18 @@ result store) go through the ``experiments`` sub-command::
     python -m repro.cli experiments run fig3-pftk --workers 4 --store results.jsonl
     python -m repro.cli experiments run --spec my_campaign.json
 
+The performance trajectory is maintained by the ``bench`` sub-command
+(see :mod:`repro.bench`): it runs the kernel/campaign benchmark suite,
+records ``BENCH_<n>.json`` at the repository root and compares against
+the previous recording with a regression threshold::
+
+    python -m repro.cli bench --dry-run
+    python -m repro.cli bench --suite quick --repeats 3
+    python -m repro.cli bench --check          # non-zero exit on regression
+
+``experiments run --telemetry`` enables :mod:`repro.telemetry` for the
+campaign and prints the counter snapshot after the summary.
+
 Each sub-command prints a small table to standard output; the benchmark
 harness under ``benchmarks/`` remains the canonical way to regenerate every
 figure with its shape checks.
@@ -39,7 +51,7 @@ import argparse
 import json
 from typing import List, Optional, Sequence
 
-from . import api
+from . import api, bench, telemetry
 from .analysis import (
     CongestionModel,
     claim3_loss_event_rates,
@@ -305,7 +317,10 @@ def _command_experiments_show(arguments: argparse.Namespace) -> int:
 
 def _command_experiments_run(arguments: argparse.Namespace) -> int:
     spec = _load_spec(arguments)
+    if arguments.telemetry:
+        telemetry.enable(fresh=True)
 
+    runner = None
     if arguments.batched:
         if arguments.store:
             raise SystemExit(
@@ -349,8 +364,21 @@ def _command_experiments_run(arguments: argparse.Namespace) -> int:
     succeeded = campaign.num_executed + campaign.num_cached
     print(
         f"summary: {succeeded}/{campaign.num_points} points succeeded, "
-        f"{campaign.num_failed} failed"
+        f"{campaign.num_failed} failed "
+        f"({campaign.num_executed} fresh, {campaign.num_cached} cached)"
     )
+    if runner is not None and runner.store is not None:
+        stats = runner.store.stats
+        print(
+            f"store: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['retries']} retries, {stats['puts']} puts"
+        )
+    if arguments.telemetry:
+        counters = telemetry.snapshot().get("counters", {})
+        if counters:
+            print("telemetry counters:")
+            for name in sorted(counters):
+                print(f"  {name} = {counters[name]:g}")
     if campaign.num_failed:
         print(f"FAILED points ({campaign.num_failed}):")
         for failure in campaign.failures():
@@ -476,7 +504,18 @@ def build_parser() -> argparse.ArgumentParser:
                                       "others fall back to the process pool")
     experiments_run.add_argument("--quiet", action="store_true",
                                  help="suppress per-point progress lines")
+    experiments_run.add_argument("--telemetry", action="store_true",
+                                 help="enable repro.telemetry for the campaign "
+                                      "and print the counter snapshot "
+                                      "(also: REPRO_TELEMETRY=1)")
     experiments_run.set_defaults(handler=_command_experiments_run)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and extend the BENCH_<n>.json trajectory",
+    )
+    bench.add_arguments(bench_parser)
+    bench_parser.set_defaults(handler=bench.execute)
 
     return parser
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import abc
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -422,6 +423,12 @@ def make_formula(name: str, **kwargs) -> LossThroughputFormula:
     ``"aimd"`` (underscores also accepted).  Keyword arguments are forwarded
     to the corresponding constructor (``rtt``, ``rto``, ``b``, ...).
     """
+    warnings.warn(
+        "make_formula is deprecated; use "
+        "repro.api.FORMULAS.from_config({'kind': name, ...}) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     # Imported lazily: repro.api depends on this module at import time.
     from ..api.components import FORMULAS
 

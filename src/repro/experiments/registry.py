@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..api.components import FORMULAS, SCENARIOS
@@ -111,6 +112,12 @@ def formula_to_params(formula: LossThroughputFormula) -> Dict[str, Any]:
         legacy ``name``-keyed shape; new code should use the registry
         directly (it emits a ``kind`` key).
     """
+    warnings.warn(
+        "formula_to_params is deprecated; use "
+        "repro.api.FORMULAS.to_config(formula) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     params = FORMULAS.to_config(formula)
     params["name"] = params.pop("kind")
     return params
@@ -123,6 +130,12 @@ def formula_from_params(params: Any) -> LossThroughputFormula:
         Thin shim over ``repro.api.FORMULAS.from_config`` (which accepts
         both the legacy ``name`` key and the registry's ``kind`` key).
     """
+    warnings.warn(
+        "formula_from_params is deprecated; use "
+        "repro.api.FORMULAS.from_config(params) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return FORMULAS.from_config(params)
 
 
@@ -682,8 +695,12 @@ def _fig5_spec() -> ExperimentSpec:
     return ExperimentSpec(
         name="fig5-ns2",
         runner="dumbbell",
-        base={"family": "ns2", "duration": 120.0},
-        grid={"num_connections": [1, 2, 4, 8]},
+        grid={
+            "scenario": [
+                {"kind": "ns2", "num_connections": count, "duration": 120.0}
+                for count in (1, 2, 4, 8)
+            ]
+        },
         seed=100,
         description=(
             "Figure 5: equal numbers of TFRC and TCP flows over a RED "
@@ -716,10 +733,17 @@ def _fig11_spec() -> ExperimentSpec:
     return ExperimentSpec(
         name="fig11-internet",
         runner="dumbbell",
-        base={"family": "internet", "duration": 150.0},
         grid={
-            "path_name": ["INRIA", "UMASS", "KTH", "UMELB"],
-            "num_connections": [1, 2],
+            "scenario": [
+                {
+                    "kind": "internet",
+                    "path_name": path_name,
+                    "num_connections": count,
+                    "duration": 150.0,
+                }
+                for path_name in ("INRIA", "UMASS", "KTH", "UMELB")
+                for count in (1, 2)
+            ]
         },
         seed=1100,
         description=(
@@ -730,13 +754,23 @@ def _fig11_spec() -> ExperimentSpec:
 
 
 def _fig16_spec() -> ExperimentSpec:
+    # buffer_packets=None keeps the paper's lab setups: 100 packets for
+    # DropTail, bandwidth-delay-derived for RED (LabScenario.build).
     return ExperimentSpec(
         name="fig16-lab",
         runner="dumbbell",
-        base={"family": "lab", "duration": 150.0},
         grid={
-            "queue_type": ["droptail", "red"],
-            "num_connections": [1, 2, 4, 6],
+            "scenario": [
+                {
+                    "kind": "lab",
+                    "queue_type": queue_type,
+                    "num_connections": count,
+                    "buffer_packets": None,
+                    "duration": 150.0,
+                }
+                for queue_type in ("droptail", "red")
+                for count in (1, 2, 4, 6)
+            ]
         },
         seed=1600,
         description=(

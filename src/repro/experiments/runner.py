@@ -18,6 +18,16 @@ both modes:
 When a :class:`~repro.experiments.store.ResultStore` is attached, points
 whose key already has a successful record are returned as ``cached`` rows
 without re-executing, and fresh results are appended to the store.
+
+With :mod:`repro.telemetry` enabled, each campaign runs under an
+``experiments.campaign`` span and every point under an
+``experiments.point`` span tagged with its status (and exception type on
+failure).  The process-pool path additionally splits each point's
+turnaround into *compute* (measured inside the worker) and *queue wait*
+(time between submission and completion not spent computing), recorded
+as the ``experiments.compute`` / ``experiments.queue_wait`` histograms;
+point outcomes feed the ``experiments.points.{ok,cached,error}``
+counters.  All instrumentation is no-op when telemetry is off.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from .. import telemetry
 from .registry import resolve_runner
 from .spec import ExperimentPoint, ExperimentSpec
 from .store import ResultStore
@@ -163,21 +174,35 @@ class ExperimentRunner:
         slots: List[Optional[PointResult]] = [None] * total
         completed = 0
 
-        pending: List[ExperimentPoint] = []
-        for point in points:
-            cached = None if force else self._lookup(point)
-            if cached is not None:
-                slots[point.index] = cached
-                completed += 1
-                self._report(completed, total, cached)
-            else:
-                pending.append(point)
+        with telemetry.span(
+            "experiments.campaign",
+            spec=spec.name,
+            runner=spec.runner,
+            points=total,
+            workers=self.workers or 1,
+        ) as campaign_span:
+            pending: List[ExperimentPoint] = []
+            for point in points:
+                cached = None if force else self._lookup(point)
+                if cached is not None:
+                    slots[point.index] = cached
+                    completed += 1
+                    telemetry.incr("experiments.points.cached")
+                    self._report(completed, total, cached)
+                else:
+                    pending.append(point)
 
-        if pending:
-            if self.workers and self.workers > 1:
-                completed = self._run_parallel(spec, pending, slots, completed, total)
-            else:
-                completed = self._run_serial(spec, pending, slots, completed, total)
+            if pending:
+                if self.workers and self.workers > 1:
+                    completed = self._run_parallel(
+                        spec, pending, slots, completed, total
+                    )
+                else:
+                    completed = self._run_serial(
+                        spec, pending, slots, completed, total
+                    )
+            campaign_span.set("executed", len(pending))
+            campaign_span.set("cached", total - len(pending))
 
         assert all(slot is not None for slot in slots)
         return CampaignResult(spec=spec, results=list(slots))  # type: ignore[arg-type]
@@ -234,9 +259,69 @@ class ExperimentRunner:
             self.progress(completed, total, result)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _note_parallel_point(
+        point: ExperimentPoint,
+        outcome: Dict[str, Any],
+        turnaround: float,
+    ) -> None:
+        """Log one pool-executed point: compute vs queue-wait split.
+
+        The compute time was measured inside the worker process (it is
+        part of the outcome); the remainder of the turnaround -- pickle
+        transfer, executor queueing, waiting behind other points on a
+        busy pool -- is the queue wait.  The span record is synthesised
+        with those measured durations rather than timed here, since the
+        work did not happen on this thread.
+        """
+        status = outcome["status"]
+        compute = float(outcome.get("duration", 0.0))
+        queue_wait = max(0.0, turnaround - compute)
+        telemetry.incr(f"experiments.points.{status}")
+        telemetry.observe("experiments.compute", compute)
+        telemetry.observe("experiments.queue_wait", queue_wait)
+        record = {
+            "name": "experiments.point",
+            "path": "experiments.campaign/experiments.point",
+            "depth": 1,
+            "wall_s": turnaround,
+            "cpu_s": compute,
+            "status": status,
+            "attributes": {
+                "index": point.index,
+                "runner": point.runner,
+                "status": status,
+                "compute_s": compute,
+                "queue_wait_s": queue_wait,
+                "pool": True,
+            },
+        }
+        if status == "error":
+            error = outcome.get("error") or ""
+            record["error"] = error.split(":", 1)[0]
+            record["attributes"]["error"] = record["error"]
+        telemetry.get_registry().record_span(record)
+        telemetry.observe("span:experiments.point", turnaround)
+
     def _run_serial(self, spec, pending, slots, completed, total) -> int:
         for point in pending:
-            outcome = execute_point(point.payload())
+            if telemetry.enabled():
+                with telemetry.span(
+                    "experiments.point",
+                    index=point.index,
+                    runner=point.runner,
+                ) as point_span:
+                    outcome = execute_point(point.payload())
+                    point_span.set("status", outcome["status"])
+                    if outcome["status"] == "error":
+                        error = outcome.get("error") or ""
+                        point_span.set("error", error.split(":", 1)[0])
+                telemetry.incr(f"experiments.points.{outcome['status']}")
+                telemetry.observe(
+                    "experiments.compute", float(outcome.get("duration", 0.0))
+                )
+            else:
+                outcome = execute_point(point.payload())
             result = self._record(spec, point, outcome)
             slots[point.index] = result
             completed += 1
@@ -245,11 +330,15 @@ class ExperimentRunner:
 
     def _run_parallel(self, spec, pending, slots, completed, total) -> int:
         max_workers = min(self.workers, len(pending))
+        instrumented = telemetry.enabled()
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
-            futures = {
-                executor.submit(execute_point, point.payload()): point
-                for point in pending
-            }
+            futures = {}
+            submitted_at = {}
+            for point in pending:
+                future = executor.submit(execute_point, point.payload())
+                futures[future] = point
+                if instrumented:
+                    submitted_at[future] = time.perf_counter()
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
@@ -267,6 +356,11 @@ class ExperimentRunner:
                         }
                     else:
                         outcome = future.result()
+                    if instrumented:
+                        turnaround = (
+                            time.perf_counter() - submitted_at[future]
+                        )
+                        self._note_parallel_point(point, outcome, turnaround)
                     result = self._record(spec, point, outcome)
                     slots[point.index] = result
                     completed += 1

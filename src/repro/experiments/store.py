@@ -13,6 +13,13 @@ before executing a point and reuses any stored successful record (a
 *cache hit*).  Failed points are recorded too, for post-mortems, but are
 never treated as hits, so the next run retries them.
 
+Every lookup through :meth:`ResultStore.get_ok` is classified -- *hit*
+(successful record reused), *miss* (no record), *retry* (a record
+exists but failed, so the point re-executes) -- into plain instance
+counters (:attr:`ResultStore.stats`, always on, shown by ``repro.cli
+experiments run``) and mirrored into the :mod:`repro.telemetry`
+``store.*`` counters when telemetry is enabled.
+
 :meth:`ResultStore.load_frame` flattens successful records into rows
 (``params`` + scalar result values) for the analysis layer.
 """
@@ -23,6 +30,8 @@ import json
 import math
 import os
 from typing import Any, Dict, Iterator, List, Optional
+
+from .. import telemetry
 
 __all__ = ["ResultStore"]
 
@@ -49,7 +58,21 @@ class ResultStore:
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._records: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.retries = 0
+        self.puts = 0
         self._load()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Lifetime cache-lookup counts for this store instance."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "retries": self.retries,
+            "puts": self.puts,
+        }
 
     def _load(self) -> None:
         if not os.path.exists(self.path):
@@ -79,10 +102,22 @@ class ResultStore:
         return self._records.get(key)
 
     def get_ok(self, key: str) -> Optional[Dict[str, Any]]:
-        """The newest record for a key if it was successful, else None."""
+        """The newest record for a key if it was successful, else None.
+
+        Classifies the lookup: hit (reused), miss (unknown key) or retry
+        (the newest record failed, so the caller will re-execute).
+        """
         record = self._records.get(key)
-        if record is not None and record.get("status") == "ok":
+        if record is None:
+            self.misses += 1
+            telemetry.incr("store.miss")
+            return None
+        if record.get("status") == "ok":
+            self.hits += 1
+            telemetry.incr("store.hit")
             return record
+        self.retries += 1
+        telemetry.incr("store.retry")
         return None
 
     def put(self, record: Dict[str, Any]) -> None:
@@ -96,6 +131,8 @@ class ResultStore:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, default=str, allow_nan=False) + "\n")
         self._records[key] = dict(record)
+        self.puts += 1
+        telemetry.incr("store.put")
 
     # ------------------------------------------------------------------
     def records(

@@ -32,6 +32,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from .. import telemetry
 from ..core.control import ControlTrace
 from ..core.formulas import (
     LossThroughputFormula,
@@ -92,10 +93,17 @@ def sliding_estimates(
         raise ValueError(
             "need more than L intervals (the first L warm up the estimator)"
         )
-    # ma[..., j] = sum_l w_l A[..., j + L - l]: the weighted average of the
-    # window *ending* at position j + L - 1, most recent interval first.
-    windows = sliding_window_view(array, window, axis=-1)
-    moving_average = windows @ weight_array[::-1]
+    with telemetry.span(
+        "kernel.montecarlo.sliding_estimates",
+        rows=1 if array.ndim == 1 else array.shape[0],
+        window=window,
+        items=array.size,
+    ):
+        # ma[..., j] = sum_l w_l A[..., j + L - l]: the weighted average
+        # of the window *ending* at position j + L - 1, most recent
+        # interval first.
+        windows = sliding_window_view(array, window, axis=-1)
+        moving_average = windows @ weight_array[::-1]
     kept = array[..., window:]
     estimates = moving_average[..., :-1]
     candidates = moving_average[..., 1:]
@@ -119,6 +127,26 @@ def evaluate_control_arrays(
     with affine rescaling of the intervals); ``w1`` is the normalised
     first weight.
     """
+    with telemetry.span(
+        "kernel.montecarlo.control",
+        rows=1 if np.ndim(kept) == 1 else np.shape(kept)[0],
+        comprehensive=comprehensive,
+        items=np.size(kept),
+    ):
+        return _evaluate_control_arrays(
+            formula, kept, estimates, candidates, w1, comprehensive, ode_steps
+        )
+
+
+def _evaluate_control_arrays(
+    formula: LossThroughputFormula,
+    kept: np.ndarray,
+    estimates: np.ndarray,
+    candidates: Optional[np.ndarray],
+    w1: float,
+    comprehensive: bool,
+    ode_steps: int,
+) -> Tuple[np.ndarray, np.ndarray]:
     rates = np.asarray(formula.rate_of_interval(estimates), dtype=float)
     durations = kept / rates
     if not comprehensive:

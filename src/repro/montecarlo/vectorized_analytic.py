@@ -52,6 +52,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..core.formulas import (
     AimdFormula,
     LossThroughputFormula,
@@ -157,10 +158,15 @@ def basic_throughput_rows(
     along the last axis: ``E[theta_0] / E[theta_0 / f(1/theta_hat_0)]``.
     """
     theta = np.asarray(intervals, dtype=float)
-    rates = np.asarray(formula.rate_of_interval(estimates), dtype=float)
-    mean_interval = theta.mean(axis=-1)
-    mean_duration = (theta / rates).mean(axis=-1)
-    return mean_interval / mean_duration
+    with telemetry.span(
+        "kernel.analytic.basic",
+        rows=1 if theta.ndim == 1 else theta.shape[0],
+        items=theta.size,
+    ):
+        rates = np.asarray(formula.rate_of_interval(estimates), dtype=float)
+        mean_interval = theta.mean(axis=-1)
+        mean_duration = (theta / rates).mean(axis=-1)
+        return mean_interval / mean_duration
 
 
 def comprehensive_throughput_rows(
@@ -180,15 +186,20 @@ def comprehensive_throughput_rows(
     theta = np.asarray(intervals, dtype=float)
     now = np.asarray(estimates, dtype=float)
     nxt = np.asarray(next_estimates, dtype=float)
-    rates = np.asarray(formula.rate_of_interval(now), dtype=float)
-    corrections = proposition3_correction(
-        formula, now.ravel(), nxt.ravel(), first_weight
-    ).reshape(now.shape)
-    mean_interval = theta.mean(axis=-1)
-    mean_duration = (theta / rates - corrections).mean(axis=-1)
-    if np.any(mean_duration <= 0.0):
-        raise ValueError("mean corrected duration is non-positive")
-    return mean_interval / mean_duration
+    with telemetry.span(
+        "kernel.analytic.comprehensive",
+        rows=1 if theta.ndim == 1 else theta.shape[0],
+        items=theta.size,
+    ):
+        rates = np.asarray(formula.rate_of_interval(now), dtype=float)
+        corrections = proposition3_correction(
+            formula, now.ravel(), nxt.ravel(), first_weight
+        ).reshape(now.shape)
+        mean_interval = theta.mean(axis=-1)
+        mean_duration = (theta / rates - corrections).mean(axis=-1)
+        if np.any(mean_duration <= 0.0):
+            raise ValueError("mean corrected duration is non-positive")
+        return mean_interval / mean_duration
 
 
 def stratified_representatives(
@@ -234,6 +245,14 @@ def affine_basic_throughput_rows(
     """
     shifts = np.asarray(shifts, dtype=float)
     scales = np.asarray(scales, dtype=float)
-    estimates = shifts[:, None] + scales[:, None] * representatives[None, :]
-    g = inverse_rate_of_interval(formula, estimates)
-    return 1.0 / (g @ np.asarray(probabilities, dtype=float))
+    with telemetry.span(
+        "kernel.analytic.affine",
+        rows=shifts.size,
+        strata=np.size(representatives),
+        items=shifts.size * np.size(representatives),
+    ):
+        estimates = (
+            shifts[:, None] + scales[:, None] * representatives[None, :]
+        )
+        g = inverse_rate_of_interval(formula, estimates)
+        return 1.0 / (g @ np.asarray(probabilities, dtype=float))

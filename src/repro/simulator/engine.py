@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
+
+from .. import telemetry
 
 __all__ = ["Event", "Simulator"]
 
@@ -61,6 +64,8 @@ class Simulator:
         self._now = 0.0
         self._stopped = False
         self.rng = np.random.default_rng(seed)
+        #: Total non-cancelled events executed across all :meth:`run` calls.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -97,10 +102,20 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: float) -> None:
-        """Run the simulation until the clock reaches ``until`` seconds."""
+        """Run the simulation until the clock reaches ``until`` seconds.
+
+        With :mod:`repro.telemetry` enabled, the run reports how many
+        events it executed (``simulator.events`` counter) and its event
+        rate (``simulator.events_per_s`` histogram).  The per-event cost
+        is a single local increment either way -- the timing calls happen
+        once per :meth:`run`, never inside the loop.
+        """
         if until < self._now:
             raise ValueError("cannot run to a time in the past")
         self._stopped = False
+        instrumented = telemetry.enabled()
+        started = time.perf_counter() if instrumented else 0.0
+        processed = 0
         while self._heap and not self._stopped:
             event = self._heap[0]
             if event.time > until:
@@ -110,7 +125,16 @@ class Simulator:
                 continue
             self._now = event.time
             event.callback()
+            processed += 1
         self._now = max(self._now, until)
+        self.events_processed += processed
+        if instrumented and processed:
+            wall = time.perf_counter() - started
+            telemetry.incr("simulator.runs")
+            telemetry.incr("simulator.events", processed)
+            telemetry.observe("simulator.run_wall", wall)
+            if wall > 0.0:
+                telemetry.observe("simulator.events_per_s", processed / wall)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""

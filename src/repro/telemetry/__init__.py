@@ -1,0 +1,80 @@
+"""Process-local tracing and metrics for the reproduction's hot paths.
+
+The subsystem is deliberately dependency-free (standard library only) and
+**off by default**: every instrumentation point in the package goes
+through :func:`span` or the counter helpers, which collapse to shared
+no-op singletons when telemetry is disabled, so the instrumented kernels
+pay one attribute check per *call* (not per row or per event).
+
+Enabling
+--------
+Set the environment variable ``REPRO_TELEMETRY=1`` before the process
+starts, or call :func:`enable` programmatically (the CLI exposes it as
+``--telemetry`` on ``experiments run`` and implicitly inside
+``repro.cli bench``)::
+
+    from repro import telemetry
+
+    telemetry.enable(fresh=True)
+    ...  # run simulations / campaigns / batches
+    print(telemetry.get_registry().snapshot())
+    telemetry.export_json("telemetry.json")
+
+Instrumentation vocabulary
+--------------------------
+:func:`span`
+    Nested context manager recording wall-clock and CPU time.  Finished
+    spans land in the registry's bounded span log with their nesting
+    path; a span named ``kernel.montecarlo.control`` also feeds the
+    ``span:kernel.montecarlo.control`` histogram, so repeated spans
+    aggregate.  ``sp.set("items", n)`` annotates a span; an ``items``
+    annotation additionally derives an ``items_per_s`` throughput
+    attribute at exit.
+:class:`MetricsRegistry`
+    Counters (monotonic sums), gauges (last value wins), histograms
+    (bounded reservoirs summarised as count/mean/min/max/p50/p90).
+
+What the package records (when enabled)
+---------------------------------------
+* ``experiments.*`` -- per-point spans, executor queue-wait vs compute
+  split, ok/cached/error counters (:mod:`repro.experiments.runner`);
+* ``store.*`` -- cache hit / miss / retry / put counters
+  (:mod:`repro.experiments.store`);
+* ``api.*`` -- one span per :func:`repro.api.simulate` /
+  :func:`repro.api.simulate_batch` call with grid shape and rows/sec;
+* ``kernel.*`` -- the vectorised Monte-Carlo and analytic kernels;
+* ``simulator.*`` -- events processed and events/sec per
+  :meth:`repro.simulator.engine.Simulator.run`.
+"""
+
+from .core import (
+    MetricsRegistry,
+    Span,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    incr,
+    observe,
+    reset,
+    set_gauge,
+    span,
+)
+from .export import export_json, export_spans_jsonl, snapshot
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "disable",
+    "enable",
+    "enabled",
+    "export_json",
+    "export_spans_jsonl",
+    "get_registry",
+    "incr",
+    "observe",
+    "reset",
+    "set_gauge",
+    "snapshot",
+    "span",
+]

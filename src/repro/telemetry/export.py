@@ -1,0 +1,53 @@
+"""Exporters: registry snapshots to JSON, the span log to JSONL.
+
+Everything written here is strict JSON (non-finite floats mapped to
+``null``), matching the conventions of the experiment result store, so
+the files compose with jq and the analysis layer without special-casing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Optional
+
+from .core import get_registry
+
+__all__ = ["snapshot", "export_json", "export_spans_jsonl"]
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {name: _json_safe(entry) for name, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(entry) for entry in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def snapshot() -> Dict[str, Any]:
+    """The current registry snapshot as a JSON-safe dictionary."""
+    return _json_safe(get_registry().snapshot())
+
+
+def export_json(path: str, indent: Optional[int] = 2) -> Dict[str, Any]:
+    """Write the registry snapshot to ``path``; returns the snapshot."""
+    payload = snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, allow_nan=False)
+        handle.write("\n")
+    return payload
+
+
+def export_spans_jsonl(path: str, name: Optional[str] = None) -> int:
+    """Write finished spans, one JSON object per line; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in get_registry().spans(name=name):
+            handle.write(json.dumps(_json_safe(record), allow_nan=False))
+            handle.write("\n")
+            count += 1
+    return count
