@@ -18,6 +18,10 @@ montecarlo
 simulator
     A packet-level discrete-event simulator (ns-2 substitute) with
     DropTail/RED queues, TCP, TFRC, and probe sources.
+flowsim
+    A flow-level discrete-event simulator: per-interval throughput
+    draws instead of packets, so thousand-to-million-flow campaigns run
+    in seconds (the ``flowsim`` runner and ``flowsim-scale`` preset).
 measurement
     Loss-event detection and per-flow statistics extraction from
     simulation traces.
@@ -39,6 +43,7 @@ from . import (
     analysis,
     api,
     core,
+    flowsim,
     lossprocess,
     measurement,
     montecarlo,
@@ -53,6 +58,7 @@ __all__ = [
     "analysis",
     "api",
     "core",
+    "flowsim",
     "lossprocess",
     "measurement",
     "montecarlo",

@@ -30,11 +30,18 @@ vectorised numpy passes::
 
 The pre-existing entry points (``repro.core.formulas.make_formula``,
 ``repro.experiments.registry.formula_to_params`` /
-``formula_from_params``) remain as thin deprecation shims over this
-package.
+``formula_from_params``) went through a deprecation cycle over this
+package and have been removed; the registries are the only construction
+path.
 """
 
-from .components import FORMULAS, LOSS_PROCESSES, SCENARIOS, WEIGHT_PROFILES
+from .components import (
+    FORMULAS,
+    GENERATORS,
+    LOSS_PROCESSES,
+    SCENARIOS,
+    WEIGHT_PROFILES,
+)
 from .profiles import (
     CustomWeightProfile,
     TfrcWeightProfile,
@@ -64,6 +71,7 @@ __all__ = [
     "LOSS_PROCESSES",
     "WEIGHT_PROFILES",
     "SCENARIOS",
+    "GENERATORS",
     "WeightProfile",
     "TfrcWeightProfile",
     "UniformWeightProfile",

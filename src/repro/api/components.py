@@ -1,4 +1,4 @@
-"""The four component registries of :mod:`repro.api`.
+"""The five component registries of :mod:`repro.api`.
 
 One :class:`~repro.api.registry.ComponentRegistry` per configurable
 family, with every concrete component the package ships registered under
@@ -7,19 +7,20 @@ a stable ``kind``:
 ========================  =====================================================
 registry                  kinds
 ========================  =====================================================
-:data:`FORMULAS`          sqrt, pftk-standard, pftk-simplified, aimd
+:data:`FORMULAS`          sqrt, pftk-standard, pftk-simplified, aimd, msmo97
 :data:`LOSS_PROCESSES`    shifted-exponential, deterministic, gamma, lognormal,
                           empirical, geometric, markov-modulated, two-phase,
                           gilbert, trace
 :data:`WEIGHT_PROFILES`   tfrc, uniform, custom
 :data:`SCENARIOS`         ns2, lab, internet, dumbbell
+:data:`GENERATORS`        fixed-population, poisson-arrivals, on-off
 ========================  =====================================================
 
-This module absorbs the pre-existing ad-hoc construction paths: the
-formula table that backed ``repro.core.formulas.make_formula`` and the
-``formula_to_params`` pair in ``repro.experiments.registry`` are now thin
-shims over :data:`FORMULAS`, and loss processes / weight profiles /
-scenarios gain the uniform construct-from-config path they never had.
+This module absorbed the pre-existing ad-hoc construction paths (the
+formula table behind the removed ``make_formula`` /
+``formula_to_params`` shims), and every component family -- including
+the flow-level traffic generators of :mod:`repro.flowsim` -- shares the
+uniform construct-from-config idiom.
 """
 
 from __future__ import annotations
@@ -29,9 +30,16 @@ from typing import Any, Dict
 from ..core.formulas import (
     AimdFormula,
     LossThroughputFormula,
+    Msmo97Formula,
     PftkSimplifiedFormula,
     PftkStandardFormula,
     SqrtFormula,
+)
+from ..flowsim.generators import (
+    FixedPopulationGenerator,
+    OnOffGenerator,
+    PoissonArrivalsGenerator,
+    TrafficGenerator,
 )
 from ..lossprocess.base import LossProcess
 from ..lossprocess.bernoulli import GeometricIntervals
@@ -63,7 +71,13 @@ from .scenarios import (
     ScenarioFamily,
 )
 
-__all__ = ["FORMULAS", "LOSS_PROCESSES", "WEIGHT_PROFILES", "SCENARIOS"]
+__all__ = [
+    "FORMULAS",
+    "LOSS_PROCESSES",
+    "WEIGHT_PROFILES",
+    "SCENARIOS",
+    "GENERATORS",
+]
 
 
 # ----------------------------------------------------------------------
@@ -83,6 +97,9 @@ FORMULAS.register(
 )
 FORMULAS.register(
     "aimd", AimdFormula, example=lambda: AimdFormula(alpha=1.0, beta=0.5)
+)
+FORMULAS.register(
+    "msmo97", Msmo97Formula, example=lambda: Msmo97Formula(rtt=0.2)
 )
 
 
@@ -228,4 +245,26 @@ SCENARIOS.register(
     example=lambda: CustomDumbbellScenario(num_tfrc=2, num_tcp=1,
                                            queue_type="droptail",
                                            buffer_packets=50),
+)
+
+
+# ----------------------------------------------------------------------
+# Flow-level traffic generators
+# ----------------------------------------------------------------------
+GENERATORS = ComponentRegistry("traffic generator", TrafficGenerator)
+GENERATORS.register(
+    "fixed-population",
+    FixedPopulationGenerator,
+    example=lambda: FixedPopulationGenerator(num_flows=50),
+)
+GENERATORS.register(
+    "poisson-arrivals",
+    PoissonArrivalsGenerator,
+    example=lambda: PoissonArrivalsGenerator(arrival_rate=2.0,
+                                             mean_duration=5.0),
+)
+GENERATORS.register(
+    "on-off",
+    OnOffGenerator,
+    example=lambda: OnOffGenerator(num_flows=10, mean_on=5.0, mean_off=2.0),
 )

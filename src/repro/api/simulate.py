@@ -332,6 +332,12 @@ class BatchConfig:
     num_events: int = 20_000
     seed: Optional[int] = None
     share_noise: bool = True
+    #: Axis names entering per-point seed derivation.  ``None`` (the
+    #: default) keeps the positional rule -- every *multi-valued* batch
+    #: axis derives -- while an explicit list pins the derivation to
+    #: exactly those axes, the way a campaign spec's ``grid`` keys do
+    #: even when single-valued.
+    seed_axes: Optional[List[str]] = None
 
     def __post_init__(self) -> None:
         if not self.formulas:
@@ -368,19 +374,26 @@ class BatchConfig:
 
         Mirrors the grid-expansion derivation of
         :func:`repro.montecarlo.sweeps.derive_point_seed` with the same
-        axis placement an equivalent :class:`ExperimentSpec` would use:
-        only *multi-valued* batch axes enter the derivation (a
-        single-valued axis corresponds to a ``base`` parameter of the
-        spec, which is excluded from seed derivation).  As a result,
+        axis placement an equivalent :class:`ExperimentSpec` would use.
+        With ``seed_axes=None`` only *multi-valued* batch axes enter the
+        derivation (a single-valued axis corresponds to a ``base``
+        parameter of the spec, which is excluded); an explicit
+        ``seed_axes`` list overrides that rule, so a spec whose *grid*
+        names a single-valued axis still derives from it.  Either way,
         ``share_noise=False`` batches reproduce the matching campaign
-        preset point for point, to numerical precision.
+        point for point, to numerical precision.
         """
         filtered = {
             name: value
             for name, value in axes.items()
-            if self._axis_is_gridded(name)
+            if self._axis_in_seed(name)
         }
         return derive_point_seed(self.seed, **filtered)
+
+    def _axis_in_seed(self, name: str) -> bool:
+        if self.seed_axes is not None:
+            return name in self.seed_axes
+        return self._axis_is_gridded(name)
 
     def _axis_is_gridded(self, name: str) -> bool:
         values = {

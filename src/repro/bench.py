@@ -210,6 +210,29 @@ def _bench_campaign_smoke() -> Dict[str, Any]:
     return {"rows": campaign.num_points}
 
 
+@register_benchmark(
+    "flowsim-campaign",
+    "flow-level simulation: 2000 concurrent flows for 50 simulated "
+    "seconds at 0.5 s sampling intervals (estimator draws, L=8)",
+)
+def _bench_flowsim_campaign() -> Dict[str, Any]:
+    from .flowsim import FlowSimConfig, run_flowsim
+
+    result = run_flowsim(
+        FlowSimConfig(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "fixed-population", "num_flows": 2000},
+            loss_event_rate=0.1,
+            coefficient_of_variation=0.6,
+            history_length=8,
+            duration=50.0,
+            interval=0.5,
+            seed=7,
+        )
+    )
+    return {"rows": result.flowlets_emitted}
+
+
 SUITES: Dict[str, List[str]] = {
     "default": [
         "kernel-montecarlo-batch",
@@ -218,6 +241,7 @@ SUITES: Dict[str, List[str]] = {
         "scalar-montecarlo",
         "scalar-analytic",
         "campaign-smoke",
+        "flowsim-campaign",
     ],
     "kernels": [
         "kernel-montecarlo-batch",
@@ -228,6 +252,7 @@ SUITES: Dict[str, List[str]] = {
         "kernel-montecarlo-batch",
         "kernel-analytic-batch",
         "campaign-smoke",
+        "flowsim-campaign",
     ],
 }
 

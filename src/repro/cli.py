@@ -27,6 +27,7 @@ result store) go through the ``experiments`` sub-command::
     python -m repro.cli experiments show fig3-pftk
     python -m repro.cli experiments run fig3-pftk --workers 4 --store results.jsonl
     python -m repro.cli experiments run --spec my_campaign.json
+    python -m repro.cli experiments run flowsim-scale   # 10k-flow flow-level run
 
 The performance trajectory is maintained by the ``bench`` sub-command
 (see :mod:`repro.bench`): it runs the kernel/campaign benchmark suite,

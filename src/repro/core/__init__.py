@@ -42,12 +42,12 @@ from .estimator import (
 from .formulas import (
     AimdFormula,
     LossThroughputFormula,
+    Msmo97Formula,
     PftkSimplifiedFormula,
     PftkStandardFormula,
     SqrtFormula,
     default_c1,
     default_c2,
-    make_formula,
 )
 from .rtt import EventAverageRtt, EwmaRttEstimator, JacobsonRttEstimator
 from .friendliness import (
@@ -73,9 +73,9 @@ __all__ = [
     "PftkStandardFormula",
     "PftkSimplifiedFormula",
     "AimdFormula",
+    "Msmo97Formula",
     "default_c1",
     "default_c2",
-    "make_formula",
     # estimator
     "MovingAverageEstimator",
     "EstimatorTrace",

@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import abc
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -57,9 +56,9 @@ __all__ = [
     "PftkStandardFormula",
     "PftkSimplifiedFormula",
     "AimdFormula",
+    "Msmo97Formula",
     "default_c1",
     "default_c2",
-    "make_formula",
 ]
 
 
@@ -412,24 +411,44 @@ class AimdFormula(LossThroughputFormula):
         return result if isinstance(p, np.ndarray) else float(result)
 
 
-def make_formula(name: str, **kwargs) -> LossThroughputFormula:
-    """Construct a formula by name.
+@dataclass(frozen=True)
+class Msmo97Formula(LossThroughputFormula):
+    """The MSMO97 (Mathis-Semke-Mahdavi-Ott) macroscopic TCP model.
 
-    .. deprecated:: 1.1
-        Thin shim over the unified component registry; use
-        ``repro.api.FORMULAS.from_config({"kind": name, **kwargs})``.
+    ``f(p) = sqrt(3 / (2 b)) / (r * sqrt(p))``
 
-    Accepted names: ``"sqrt"``, ``"pftk-standard"``, ``"pftk-simplified"``,
-    ``"aimd"`` (underscores also accepted).  Keyword arguments are forwarded
-    to the corresponding constructor (``rtt``, ``rto``, ``b``, ...).
+    The "TCP-friendly" square-root law in its original 1997
+    parameterisation: ``b`` is the number of packets acknowledged per
+    ACK and defaults to ``1`` (every packet acknowledged), the Mathis
+    convention -- whereas the paper's :class:`SqrtFormula` defaults to
+    the delayed-ack ``b = 2``.  At equal ``b`` the two formulas are
+    numerically identical (``sqrt(3/(2b)) = 1/c1``); MSMO97 is kept as
+    its own registry kind so flowsim campaigns and the model-zoo
+    comparisons can name the classic model directly.
     """
-    warnings.warn(
-        "make_formula is deprecated; use "
-        "repro.api.FORMULAS.from_config({'kind': name, ...}) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    # Imported lazily: repro.api depends on this module at import time.
-    from ..api.components import FORMULAS
 
-    return FORMULAS.from_config({"kind": name, **kwargs})
+    rtt: float = 1.0
+    b: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0.0:
+            raise ValueError(f"rtt must be positive, got {self.rtt}")
+        if self.b <= 0:
+            raise ValueError(f"b must be positive, got {self.b}")
+
+    @property
+    def constant(self) -> float:
+        """The MSS-free Mathis constant ``sqrt(3 / (2 b))``."""
+        return math.sqrt(3.0 / (2.0 * self.b))
+
+    def rate(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = self.constant / (self.rtt * np.sqrt(p_arr))
+        return result if isinstance(p, np.ndarray) else float(result)
+
+    def rate_derivative(self, p: ArrayLike) -> ArrayLike:
+        p_arr = _as_array(p)
+        _validate_loss_rate(p_arr)
+        result = -0.5 * self.constant / (self.rtt * p_arr**1.5)
+        return result if isinstance(p, np.ndarray) else float(result)

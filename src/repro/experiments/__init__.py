@@ -18,8 +18,6 @@ The same machinery backs ``python -m repro.cli experiments``.
 
 from .registry import (
     PRESETS,
-    formula_from_params,
-    formula_to_params,
     preset,
     preset_names,
     register_runner,
@@ -46,8 +44,6 @@ __all__ = [
     "runner_kinds",
     "spec_to_batch_config",
     "run_campaign_batched",
-    "formula_to_params",
-    "formula_from_params",
     "preset",
     "preset_names",
     "PRESETS",

@@ -26,6 +26,10 @@ component API in :mod:`repro.api`:
     family exactly once per point.
 ``audio``
     The Claim 2 / Figure 6 audio source through a Bernoulli dropper.
+``flowsim``
+    The flow-level engine of :mod:`repro.flowsim`: per-interval
+    throughput sampling over an entire flow population (no packets),
+    for thousand-to-million-flow scenario points.
 
 Custom kinds can be registered with :func:`register_runner`; the function
 must live at module level so it survives pickling into worker processes.
@@ -44,14 +48,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from ..api.components import FORMULAS, SCENARIOS
 from ..api.simulate import BatchConfig, SimConfig
 from ..api.simulate import simulate as _simulate_point
 from ..api.simulate import simulate_batch as _simulate_batch
-from ..core.formulas import LossThroughputFormula, PftkStandardFormula
+from ..core.formulas import PftkStandardFormula
 from ..montecarlo.sweeps import (
     FIGURE3_CV,
     FIGURE3_HISTORY_LENGTHS,
@@ -65,8 +68,6 @@ __all__ = [
     "register_runner",
     "resolve_runner",
     "runner_kinds",
-    "formula_to_params",
-    "formula_from_params",
     "spec_to_batch_config",
     "run_campaign_batched",
     "preset",
@@ -99,44 +100,6 @@ def resolve_runner(kind: str) -> RunnerFunction:
 def runner_kinds() -> List[str]:
     """The registered runner kinds, sorted."""
     return sorted(_RUNNERS)
-
-
-# ----------------------------------------------------------------------
-# Formula (de)serialisation (deprecation shims over repro.api.FORMULAS)
-# ----------------------------------------------------------------------
-def formula_to_params(formula: LossThroughputFormula) -> Dict[str, Any]:
-    """Describe a formula instance as a JSON-safe parameter dictionary.
-
-    .. deprecated:: 1.1
-        Thin shim over ``repro.api.FORMULAS.to_config`` preserved for the
-        legacy ``name``-keyed shape; new code should use the registry
-        directly (it emits a ``kind`` key).
-    """
-    warnings.warn(
-        "formula_to_params is deprecated; use "
-        "repro.api.FORMULAS.to_config(formula) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    params = FORMULAS.to_config(formula)
-    params["name"] = params.pop("kind")
-    return params
-
-
-def formula_from_params(params: Any) -> LossThroughputFormula:
-    """Reconstruct a formula from its name or parameter dictionary.
-
-    .. deprecated:: 1.1
-        Thin shim over ``repro.api.FORMULAS.from_config`` (which accepts
-        both the legacy ``name`` key and the registry's ``kind`` key).
-    """
-    warnings.warn(
-        "formula_from_params is deprecated; use "
-        "repro.api.FORMULAS.from_config(params) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return FORMULAS.from_config(params)
 
 
 # ----------------------------------------------------------------------
@@ -440,11 +403,57 @@ def run_audio_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str,
     }
 
 
+def run_flowsim_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One flow-level scenario point (see :mod:`repro.flowsim`).
+
+    The point names a ``generator`` config (any registered
+    ``repro.api.GENERATORS`` kind), a ``formula``, and a loss model
+    either as a ``loss_process`` config or the classic
+    ``loss_event_rate`` (+ optional ``coefficient_of_variation``) axes.
+    Returns the scalar flow summary -- flow counts, flowlets, the mean
+    per-flow rate and its steady-state formula prediction.
+    """
+    # Imported lazily so montecarlo-only campaign workers never pay for
+    # the flow-level stack.
+    from ..flowsim import FlowSimConfig, run_flowsim
+
+    config = FlowSimConfig(
+        formula=params["formula"],
+        generator=params.get(
+            "generator", {"kind": "fixed-population", "num_flows": 100}
+        ),
+        loss_process=params.get("loss_process"),
+        loss_event_rate=(
+            None
+            if params.get("loss_process") is not None
+            else float(params["loss_event_rate"])
+        ),
+        coefficient_of_variation=(
+            float(params["coefficient_of_variation"])
+            if "coefficient_of_variation" in params
+            and params.get("loss_process") is None
+            else None
+        ),
+        profile=params.get("profile"),
+        history_length=(
+            None
+            if params.get("profile") is not None
+            else int(params.get("history_length", 8))
+        ),
+        duration=float(params.get("duration", 100.0)),
+        interval=float(params.get("interval", 1.0)),
+        sampling=params.get("sampling", "estimator"),
+        seed=seed,
+    )
+    return run_flowsim(config).summary()
+
+
 register_runner("montecarlo-basic", run_montecarlo_basic)
 register_runner("montecarlo-comprehensive", run_montecarlo_comprehensive)
 register_runner("dumbbell", run_dumbbell_scenario)
 register_runner("dumbbell-batch", run_dumbbell_batch)
 register_runner("audio", run_audio_scenario)
+register_runner("flowsim", run_flowsim_scenario)
 
 
 # ----------------------------------------------------------------------
@@ -472,12 +481,12 @@ def spec_to_batch_config(spec: ExperimentSpec) -> Optional[BatchConfig]:
     vectorised grid reproduces the process-pool campaign point for
     point), or ``None`` when the spec is not batchable: non-montecarlo
     runners, axes or base parameters outside the numerical-experiment
-    set, *single-valued grid axes* -- those enter the spec's seed
-    derivation but correspond to ``base`` parameters of a batch, so the
-    seeds would no longer match -- or axis values whose types the batch
-    would coerce (an integer ``1`` where the batch derives from ``1.0``
-    canonicalises differently inside ``derive_point_seed``, silently
-    reseeding the point).
+    set, or axis values whose types the batch would coerce (an integer
+    ``1`` where the batch derives from ``1.0`` canonicalises differently
+    inside ``derive_point_seed``, silently reseeding the point).
+    Single-valued *grid* axes batch too: the returned config pins its
+    ``seed_axes`` to the spec's grid keys, so they keep entering seed
+    derivation exactly as the spec expansion does.
     """
     control = _BATCHABLE_RUNNERS.get(spec.runner)
     if control is None:
@@ -485,8 +494,6 @@ def spec_to_batch_config(spec: ExperimentSpec) -> Optional[BatchConfig]:
     if set(spec.grid) - _BATCH_AXIS_NAMES:
         return None
     if set(spec.base) - _BATCH_BASE_KEYS:
-        return None
-    if any(len(values) < 2 for values in spec.grid.values()):
         return None
     if "formula" not in spec.base:
         return None
@@ -541,6 +548,7 @@ def spec_to_batch_config(spec: ExperimentSpec) -> Optional[BatchConfig]:
             num_events=int(spec.base.get("num_events", 40_000)),
             seed=spec.seed,
             share_noise=False,
+            seed_axes=sorted(spec.grid),
         )
     except ValueError:
         # Config-level validation failures (e.g. an analytic spec whose
@@ -860,6 +868,37 @@ def _fig3_markov_spec() -> ExperimentSpec:
     )
 
 
+def _flowsim_scale_spec() -> ExperimentSpec:
+    """10k concurrent flows, 100 simulated seconds, two loss-rate points.
+
+    The flow-level engine's scale demonstration: each point draws one
+    estimator sample per flow per second (10k x 100 x L = 8M interval
+    draws) in vectorised per-tick passes, so the whole campaign runs in
+    seconds where the packet-level dumbbell could not hold 10k flows at
+    all.  cv = 0.6 keeps the estimator-sampling bias of the mean
+    per-flow rate well inside the 5% acceptance band.
+    """
+    return ExperimentSpec(
+        name="flowsim-scale",
+        runner="flowsim",
+        base={
+            "formula": {"kind": "sqrt", "rtt": 0.1},
+            "coefficient_of_variation": 0.6,
+            "history_length": 8,
+            "duration": 100.0,
+            "interval": 1.0,
+            "generator": {"kind": "fixed-population", "num_flows": 10_000},
+        },
+        grid={"loss_event_rate": [0.02, 0.1]},
+        seed=4200,
+        description=(
+            "Flow-level scale demo: 10k concurrent flows for 100 s, "
+            "per-second estimator-sampled flowlets, sqrt formula at "
+            "p in {0.02, 0.1}."
+        ),
+    )
+
+
 PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
     "fig3-sqrt": lambda: _fig3_spec("sqrt"),
     "fig3-pftk": lambda: _fig3_spec("pftk-simplified"),
@@ -871,6 +910,7 @@ PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
     "fig6-audio": _fig6_spec,
     "fig11-internet": _fig11_spec,
     "fig16-lab": _fig16_spec,
+    "flowsim-scale": _flowsim_scale_spec,
     "smoke": _smoke_spec,
 }
 

@@ -1,0 +1,160 @@
+"""Pluggable traffic generators for the flow-level simulator.
+
+A generator decides *when flows exist*: it is installed once on a
+:class:`~repro.flowsim.run.FlowSimulation` and from then on opens and
+closes flows by scheduling events on the simulation's
+:class:`~repro.flowsim.core.FlowSimCore` and drawing randomness from the
+simulation's single seeded generator.  Three families ship (mirroring
+the ``traffic_generators`` of the jsommers/fs exemplar):
+
+* :class:`FixedPopulationGenerator` -- ``num_flows`` long-lived flows,
+  all present from time zero (the paper's many-concurrent-sources
+  setting, and the shape the ``flowsim-scale`` preset drives at 10k
+  flows);
+* :class:`PoissonArrivalsGenerator` -- flows arrive as a Poisson
+  process and carry either an exponential *size* (packets; the flow
+  completes when the volume is sent) or an exponential *duration*
+  (seconds; the flow is closed by the generator);
+* :class:`OnOffGenerator` -- ``num_flows`` on/off sources with
+  exponential on and off periods; every on-period is a fresh flow.
+
+All three are frozen dataclasses registered in the
+``repro.api.GENERATORS`` registry, so campaign specs describe them as
+plain config dicts with exact JSON round-trip.  This module must stay
+import-free of :mod:`repro.api` (the registry imports *it*).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TrafficGenerator",
+    "FixedPopulationGenerator",
+    "PoissonArrivalsGenerator",
+    "OnOffGenerator",
+]
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class of the generator family.
+
+    ``install(simulation)`` is called once before the event loop starts;
+    the generator opens its initial flows and schedules whatever future
+    arrivals it needs.  Implementations must take all randomness from
+    ``simulation.rng`` so one seed reproduces the whole run.
+    """
+
+    @abc.abstractmethod
+    def install(self, simulation) -> None:
+        """Register this generator's flows and events on a simulation."""
+
+
+@dataclass(frozen=True)
+class FixedPopulationGenerator(TrafficGenerator):
+    """``num_flows`` unbounded flows, all active from time zero."""
+
+    num_flows: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_flows < 1:
+            raise ValueError(
+                f"num_flows must be at least 1, got {self.num_flows}"
+            )
+
+    def install(self, simulation) -> None:
+        for _ in range(self.num_flows):
+            simulation.open_flow()
+
+
+@dataclass(frozen=True)
+class PoissonArrivalsGenerator(TrafficGenerator):
+    """Poisson flow arrivals with exponential sizes or durations.
+
+    ``arrival_rate`` is the mean number of new flows per simulated
+    second.  Exactly one of ``mean_size`` (packets; the flow runs until
+    its volume is sent) and ``mean_duration`` (seconds; the generator
+    closes the flow) must be given -- the two standard ways a flow-level
+    workload bounds its flows.
+    """
+
+    arrival_rate: float = 1.0
+    mean_size: Optional[float] = None
+    mean_duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0.0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if (self.mean_size is None) == (self.mean_duration is None):
+            raise ValueError(
+                "specify exactly one of mean_size (packets) and "
+                "mean_duration (seconds)"
+            )
+        if self.mean_size is not None and self.mean_size <= 0.0:
+            raise ValueError(f"mean_size must be positive, got {self.mean_size}")
+        if self.mean_duration is not None and self.mean_duration <= 0.0:
+            raise ValueError(
+                f"mean_duration must be positive, got {self.mean_duration}"
+            )
+
+    def install(self, simulation) -> None:
+        self._schedule_next_arrival(simulation)
+
+    def _schedule_next_arrival(self, simulation) -> None:
+        delay = simulation.rng.exponential(1.0 / self.arrival_rate)
+        simulation.core.schedule(delay, lambda: self._arrive(simulation))
+
+    def _arrive(self, simulation) -> None:
+        if self.mean_size is not None:
+            simulation.open_flow(size=simulation.rng.exponential(self.mean_size))
+        else:
+            flow_id = simulation.open_flow()
+            lifetime = simulation.rng.exponential(self.mean_duration)
+            simulation.core.schedule(
+                lifetime, lambda: simulation.close_flow(flow_id)
+            )
+        self._schedule_next_arrival(simulation)
+
+
+@dataclass(frozen=True)
+class OnOffGenerator(TrafficGenerator):
+    """``num_flows`` on/off sources with exponential period lengths.
+
+    Each source starts in the *on* state at time zero; every on-period
+    is opened as a fresh flow (new flow id) and closed when the period
+    ends, so the flow-record export shows one record per burst.
+    """
+
+    num_flows: int = 10
+    mean_on: float = 10.0
+    mean_off: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_flows < 1:
+            raise ValueError(
+                f"num_flows must be at least 1, got {self.num_flows}"
+            )
+        if self.mean_on <= 0.0:
+            raise ValueError(f"mean_on must be positive, got {self.mean_on}")
+        if self.mean_off <= 0.0:
+            raise ValueError(f"mean_off must be positive, got {self.mean_off}")
+
+    def install(self, simulation) -> None:
+        for _ in range(self.num_flows):
+            self._turn_on(simulation)
+
+    def _turn_on(self, simulation) -> None:
+        flow_id = simulation.open_flow()
+        on_for = simulation.rng.exponential(self.mean_on)
+        simulation.core.schedule(
+            on_for, lambda: self._turn_off(simulation, flow_id)
+        )
+
+    def _turn_off(self, simulation, flow_id: int) -> None:
+        simulation.close_flow(flow_id)
+        off_for = simulation.rng.exponential(self.mean_off)
+        simulation.core.schedule(off_for, lambda: self._turn_on(simulation))

@@ -31,6 +31,7 @@ REGISTRIES = {
     "loss-process": api.LOSS_PROCESSES,
     "weight-profile": api.WEIGHT_PROFILES,
     "scenario": api.SCENARIOS,
+    "generator": api.GENERATORS,
 }
 
 ALL_COMPONENTS = [

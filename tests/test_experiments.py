@@ -506,10 +506,11 @@ class TestBatchedCampaignFrontend:
                 rtol=1e-9,
             )
 
-    def test_single_valued_grid_axis_is_not_batchable(self):
-        """A single-valued grid axis enters the spec's seed derivation but
-        would be filtered by BatchConfig.point_seed, so such specs must
-        fall back to the per-point runner rather than silently reseed."""
+    def test_single_valued_grid_axis_batches_and_matches_pool(self):
+        """A single-valued grid axis enters the spec's seed derivation;
+        spec_to_batch_config pins ``seed_axes`` to the spec's grid keys so
+        the batch path derives identical per-point seeds and the results
+        match the per-point runner exactly."""
         spec = ExperimentSpec(
             name="single-axis",
             runner="montecarlo-basic",
@@ -521,7 +522,17 @@ class TestBatchedCampaignFrontend:
             },
             seed=2,
         )
-        assert spec_to_batch_config(spec) is None
+        config = spec_to_batch_config(spec)
+        assert config is not None
+        assert config.seed_axes == sorted(spec.grid)
+        pool = ExperimentRunner().run(spec)
+        pool.raise_errors()
+        batched = run_campaign_batched(spec)
+        assert len(pool.results) == len(batched.results)
+        for a, b in zip(pool.results, batched.results):
+            assert a.point.params == b.point.params
+            assert np.isclose(
+                a.value["throughput"], b.value["throughput"], rtol=1e-9)
 
     def test_integer_typed_grid_values_are_not_batchable(self):
         """An int grid value (the 1 a JSON spec naturally carries for cv)

@@ -1,0 +1,378 @@
+"""Tests for the flow-level simulator (repro.flowsim).
+
+Covers the discrete-event core (ordering, periodic events, cancellation),
+seed determinism of whole runs, the JSONL export round-trip, generator
+validation and behaviour, agreement between the sampled mean flow rate
+and the formula's steady-state prediction, and the ``flowsim-scale``
+campaign preset's acceptance criteria (10k concurrent flows, 100
+simulated seconds, seconds of wall-clock).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.experiments import ExperimentRunner, preset
+from repro.flowsim import (
+    FixedPopulationGenerator,
+    FlowRecord,
+    FlowSimConfig,
+    FlowSimCore,
+    Flowlet,
+    OnOffGenerator,
+    PoissonArrivalsGenerator,
+    read_flow_records,
+    read_flowlets,
+    run_flowsim,
+    write_flow_records,
+    write_flowlets,
+)
+
+
+# ----------------------------------------------------------------------
+# Discrete-event core
+# ----------------------------------------------------------------------
+class TestFlowSimCore:
+    def test_events_run_in_time_order(self):
+        core = FlowSimCore()
+        order = []
+        core.schedule(3.0, lambda: order.append("c"))
+        core.schedule(1.0, lambda: order.append("a"))
+        core.schedule(2.0, lambda: order.append("b"))
+        core.run(until=10.0)
+        assert order == ["a", "b", "c"]
+        assert core.now == 10.0
+        assert core.events_processed == 3
+
+    def test_ties_break_by_insertion_order(self):
+        core = FlowSimCore()
+        order = []
+        for label in ("first", "second", "third"):
+            core.schedule(5.0, lambda label=label: order.append(label))
+        core.run(until=5.0)
+        assert order == ["first", "second", "third"]
+
+    def test_cancelled_event_is_skipped(self):
+        core = FlowSimCore()
+        fired = []
+        event = core.schedule(1.0, lambda: fired.append("cancelled"))
+        core.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        core.run(until=5.0)
+        assert fired == ["kept"]
+        assert core.events_processed == 1
+
+    def test_events_beyond_horizon_stay_pending(self):
+        core = FlowSimCore()
+        fired = []
+        core.schedule(1.0, lambda: fired.append("near"))
+        core.schedule(100.0, lambda: fired.append("far"))
+        core.run(until=10.0)
+        assert fired == ["near"]
+        assert core.pending_events() == 1
+        core.run(until=100.0)
+        assert fired == ["near", "far"]
+
+    def test_periodic_event_fires_every_interval(self):
+        core = FlowSimCore()
+        times = []
+        core.schedule_periodic(2.0, lambda: times.append(core.now))
+        core.run(until=10.0)
+        assert times == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_periodic_cancel_stops_recurrence(self):
+        core = FlowSimCore()
+        times = []
+        handle = core.schedule_periodic(1.0, lambda: times.append(core.now))
+        core.schedule(3.5, handle.cancel)
+        core.run(until=10.0)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_rejects_scheduling_in_the_past(self):
+        core = FlowSimCore()
+        core.schedule(1.0, lambda: core.stop())
+        core.run(until=1.0)
+        with pytest.raises(ValueError):
+            core.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            core.schedule(-1.0, lambda: None)
+
+    def test_stop_halts_the_loop(self):
+        core = FlowSimCore()
+        fired = []
+        core.schedule(1.0, lambda: (fired.append("a"), core.stop()))
+        core.schedule(2.0, lambda: fired.append("b"))
+        core.run(until=10.0)
+        assert fired == ["a"]
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+class TestFlowSimConfig:
+    def test_requires_a_loss_description(self):
+        with pytest.raises(ValueError, match="loss_process"):
+            FlowSimConfig(formula="sqrt")
+
+    def test_rejects_both_loss_descriptions(self):
+        with pytest.raises(ValueError):
+            FlowSimConfig(
+                formula="sqrt",
+                loss_event_rate=0.1,
+                loss_process={"kind": "deterministic", "value": 10.0},
+            )
+
+    def test_rejects_cv_with_explicit_process(self):
+        with pytest.raises(ValueError):
+            FlowSimConfig(
+                formula="sqrt",
+                loss_process={"kind": "deterministic", "value": 10.0},
+                coefficient_of_variation=0.5,
+            )
+
+    def test_rejects_unknown_sampling(self):
+        with pytest.raises(ValueError, match="sampling"):
+            FlowSimConfig(
+                formula="sqrt", loss_event_rate=0.1, sampling="bogus"
+            )
+
+    def test_config_dict_round_trip(self):
+        config = FlowSimConfig(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "fixed-population", "num_flows": 7},
+            loss_event_rate=0.1,
+            coefficient_of_variation=0.6,
+            history_length=8,
+            duration=5.0,
+            seed=3,
+        )
+        rebuilt = FlowSimConfig.from_dict(config.to_dict())
+        assert rebuilt.to_dict() == config.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Generator family
+# ----------------------------------------------------------------------
+class TestGenerators:
+    def test_fixed_population_rejects_zero_flows(self):
+        with pytest.raises(ValueError):
+            FixedPopulationGenerator(num_flows=0)
+
+    def test_poisson_requires_exactly_one_bound(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalsGenerator(arrival_rate=1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivalsGenerator(
+                arrival_rate=1.0, mean_size=10.0, mean_duration=5.0
+            )
+
+    def test_on_off_rejects_non_positive_periods(self):
+        with pytest.raises(ValueError):
+            OnOffGenerator(mean_on=0.0)
+        with pytest.raises(ValueError):
+            OnOffGenerator(mean_off=-1.0)
+
+    def test_generator_registry_round_trip(self):
+        generator = PoissonArrivalsGenerator(
+            arrival_rate=2.0, mean_duration=5.0
+        )
+        config = api.GENERATORS.to_config(generator)
+        assert config["kind"] == "poisson-arrivals"
+        assert api.GENERATORS.from_config(config) == generator
+
+    def test_poisson_duration_flows_complete(self):
+        result = run_flowsim(
+            formula="sqrt",
+            generator={
+                "kind": "poisson-arrivals",
+                "arrival_rate": 2.0,
+                "mean_duration": 3.0,
+            },
+            loss_event_rate=0.1,
+            duration=50.0,
+            seed=11,
+        )
+        assert result.num_flows > 0
+        assert result.num_completed > 0
+        completed = [r for r in result.records if r.completed]
+        assert completed
+        # Generator-closed flows end strictly inside the horizon.
+        assert all(r.end_time <= 50.0 for r in completed)
+
+    def test_poisson_size_flows_stop_at_their_limit(self):
+        result = run_flowsim(
+            formula={"kind": "sqrt", "rtt": 0.5},
+            generator={
+                "kind": "poisson-arrivals",
+                "arrival_rate": 1.0,
+                "mean_size": 30.0,
+            },
+            loss_event_rate=0.1,
+            duration=60.0,
+            sampling="mean",
+            seed=5,
+        )
+        finished = [r for r in result.records if r.completed]
+        assert finished
+        for record in finished:
+            assert record.size is not None
+            assert record.packets_sent >= record.size
+
+    def test_on_off_emits_one_record_per_burst(self):
+        result = run_flowsim(
+            formula="sqrt",
+            generator={
+                "kind": "on-off",
+                "num_flows": 5,
+                "mean_on": 4.0,
+                "mean_off": 4.0,
+            },
+            loss_event_rate=0.1,
+            duration=80.0,
+            seed=23,
+        )
+        # Sources cycle, so far more bursts (flow ids) than sources.
+        assert result.num_flows > 5
+        assert result.num_completed > 0
+
+
+# ----------------------------------------------------------------------
+# Determinism and export
+# ----------------------------------------------------------------------
+def _small_config(seed):
+    return FlowSimConfig(
+        formula={"kind": "sqrt", "rtt": 0.1},
+        generator={"kind": "poisson-arrivals", "arrival_rate": 1.5,
+                   "mean_duration": 4.0},
+        loss_event_rate=0.1,
+        coefficient_of_variation=0.6,
+        history_length=8,
+        duration=30.0,
+        record_flowlets=True,
+        seed=seed,
+    )
+
+
+class TestDeterminismAndExport:
+    def test_same_seed_reproduces_the_run(self):
+        first = run_flowsim(_small_config(seed=42))
+        second = run_flowsim(_small_config(seed=42))
+        assert [r.to_dict() for r in first.records] == [
+            r.to_dict() for r in second.records
+        ]
+        assert [f.to_dict() for f in first.flowlets] == [
+            f.to_dict() for f in second.flowlets
+        ]
+        assert first.summary() == second.summary()
+
+    def test_different_seed_differs(self):
+        first = run_flowsim(_small_config(seed=42))
+        second = run_flowsim(_small_config(seed=43))
+        assert [r.to_dict() for r in first.records] != [
+            r.to_dict() for r in second.records
+        ]
+
+    def test_flow_record_jsonl_round_trip(self, tmp_path):
+        result = run_flowsim(_small_config(seed=7))
+        path = tmp_path / "records.jsonl"
+        count = write_flow_records(path, result.records)
+        assert count == len(result.records) > 0
+        assert read_flow_records(path) == result.records
+
+    def test_flowlet_jsonl_round_trip(self, tmp_path):
+        result = run_flowsim(_small_config(seed=7))
+        path = tmp_path / "flowlets.jsonl"
+        count = write_flowlets(path, result.flowlets)
+        assert count == len(result.flowlets) > 0
+        assert read_flowlets(path) == result.flowlets
+
+    def test_record_objects_round_trip_dicts(self):
+        record = FlowRecord(
+            flow_id=3, start_time=1.0, end_time=9.0, packets_sent=120.0,
+            num_flowlets=8, mean_rate=15.0, completed=True, size=120.0,
+        )
+        assert FlowRecord.from_dict(record.to_dict()) == record
+        assert record.duration == pytest.approx(8.0)
+        flowlet = Flowlet(
+            flow_id=3, start=2.0, duration=1.0, rate=15.0, packets=15.0
+        )
+        assert Flowlet.from_dict(flowlet.to_dict()) == flowlet
+
+
+# ----------------------------------------------------------------------
+# Rate semantics
+# ----------------------------------------------------------------------
+class TestRateSemantics:
+    def test_mean_sampling_is_exactly_the_formula(self):
+        formula = api.FORMULAS.from_config({"kind": "sqrt", "rtt": 0.2})
+        result = run_flowsim(
+            formula={"kind": "sqrt", "rtt": 0.2},
+            generator={"kind": "fixed-population", "num_flows": 20},
+            loss_event_rate=0.05,
+            duration=10.0,
+            sampling="mean",
+            seed=1,
+        )
+        expected = formula.rate(0.05)
+        assert result.mean_flow_rate == pytest.approx(expected)
+        assert result.total_packets == pytest.approx(20 * 10.0 * expected)
+
+    def test_estimator_sampling_matches_formula_within_5_percent(self):
+        result = run_flowsim(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "fixed-population", "num_flows": 200},
+            loss_event_rate=0.05,
+            coefficient_of_variation=0.6,
+            history_length=8,
+            duration=100.0,
+            seed=9,
+        )
+        assert result.mean_flow_rate == pytest.approx(
+            result.predicted_rate, rel=0.05
+        )
+
+    def test_event_count_is_independent_of_population(self):
+        small = run_flowsim(
+            formula="sqrt",
+            generator={"kind": "fixed-population", "num_flows": 10},
+            loss_event_rate=0.1, duration=20.0, seed=2,
+        )
+        large = run_flowsim(
+            formula="sqrt",
+            generator={"kind": "fixed-population", "num_flows": 1000},
+            loss_event_rate=0.1, duration=20.0, seed=2,
+        )
+        assert small.events_processed == large.events_processed
+        assert large.flowlets_emitted == 100 * small.flowlets_emitted
+
+
+# ----------------------------------------------------------------------
+# Campaign integration and the flowsim-scale acceptance criteria
+# ----------------------------------------------------------------------
+class TestCampaignIntegration:
+    def test_flowsim_runner_registered(self):
+        from repro.experiments import runner_kinds
+
+        assert "flowsim" in runner_kinds()
+
+    def test_flowsim_scale_preset_meets_acceptance(self):
+        spec = preset("flowsim-scale")
+        assert spec.runner == "flowsim"
+        started = time.perf_counter()
+        campaign = ExperimentRunner().run(spec)
+        wall = time.perf_counter() - started
+        campaign.raise_errors()
+        assert len(campaign.results) == 2
+        for point in campaign.results:
+            summary = point.value
+            assert summary["peak_concurrent"] >= 10_000
+            assert summary["duration"] == pytest.approx(100.0)
+            assert np.isclose(
+                summary["mean_flow_rate"], summary["predicted_rate"],
+                rtol=0.05,
+            )
+        # The whole 2-point campaign (2 x 10k flows x 100 s) must run in
+        # seconds, not minutes -- the point of the flow-level abstraction.
+        assert wall < 10.0

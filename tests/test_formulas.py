@@ -8,6 +8,7 @@ import pytest
 from repro.api.components import FORMULAS
 from repro.core.formulas import (
     AimdFormula,
+    Msmo97Formula,
     PftkSimplifiedFormula,
     PftkStandardFormula,
     SqrtFormula,
@@ -193,6 +194,51 @@ class TestAimdFormula:
         assert formula.rate(0.01) == pytest.approx(2.0 * formula.rate(0.04))
 
 
+class TestMsmo97Formula:
+    def test_matches_closed_form(self):
+        formula = Msmo97Formula(rtt=0.2, b=1)
+        p = 0.04
+        expected = math.sqrt(1.5) / (0.2 * math.sqrt(p))
+        assert formula.rate(p) == pytest.approx(expected)
+
+    def test_constant_property(self):
+        assert Msmo97Formula(b=1).constant == pytest.approx(math.sqrt(1.5))
+        assert Msmo97Formula(b=2).constant == pytest.approx(math.sqrt(0.75))
+
+    def test_b2_coincides_with_sqrt_formula(self):
+        # At b=2 the Mathis constant sqrt(3/(2b)) equals 1/c1, so MSMO97
+        # and the paper's SQRT formula are the same curve.
+        msmo = Msmo97Formula(rtt=0.5, b=2)
+        sqrt = SqrtFormula(rtt=0.5)
+        for p in (0.001, 0.05, 0.3):
+            assert msmo.rate(p) == pytest.approx(sqrt.rate(p))
+
+    def test_derivative_matches_numerical(self):
+        formula = Msmo97Formula(rtt=1.0)
+        p = 0.05
+        h = 1e-7
+        numerical = (formula.rate(p + h) - formula.rate(p - h)) / (2 * h)
+        assert formula.rate_derivative(p) == pytest.approx(numerical, rel=1e-4)
+
+    def test_vector_input_returns_array(self):
+        formula = Msmo97Formula(rtt=1.0)
+        values = formula.rate(np.array([0.01, 0.04]))
+        assert isinstance(values, np.ndarray)
+        assert values[0] == pytest.approx(2.0 * values[1])
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Msmo97Formula(rtt=0.0)
+        with pytest.raises(ValueError):
+            Msmo97Formula(b=0)
+
+    def test_registry_round_trip(self):
+        formula = Msmo97Formula(rtt=0.2, b=1)
+        config = FORMULAS.to_config(formula)
+        assert config["kind"] == "msmo97"
+        assert FORMULAS.from_config(config) == formula
+
+
 class TestRegistry:
     @pytest.mark.parametrize(
         "name, cls",
@@ -201,6 +247,7 @@ class TestRegistry:
             ("pftk-standard", PftkStandardFormula),
             ("pftk_simplified", PftkSimplifiedFormula),
             ("aimd", AimdFormula),
+            ("msmo97", Msmo97Formula),
         ],
     )
     def test_from_config_by_kind(self, name, cls):

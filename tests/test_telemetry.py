@@ -210,27 +210,16 @@ class TestCampaignTelemetry:
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims (observability PR satellite)
+# Registry construction path (the deprecated shims are gone)
 # ----------------------------------------------------------------------
 class TestDeprecationShims:
-    def test_make_formula_warns(self):
-        from repro.core.formulas import make_formula
+    def test_shims_are_removed(self):
+        import repro.core.formulas as formulas_module
+        import repro.experiments as experiments_module
 
-        with pytest.warns(DeprecationWarning, match="make_formula"):
-            formula = make_formula("sqrt", rtt=1.0)
-        assert formula.rtt == 1.0
-
-    def test_formula_params_shims_warn(self):
-        from repro.api import FORMULAS
-        from repro.experiments import formula_from_params, formula_to_params
-
-        formula = FORMULAS.from_config({"kind": "sqrt", "rtt": 2.0})
-        with pytest.warns(DeprecationWarning, match="formula_to_params"):
-            params = formula_to_params(formula)
-        assert params["name"] == "sqrt"
-        with pytest.warns(DeprecationWarning, match="formula_from_params"):
-            rebuilt = formula_from_params(params)
-        assert rebuilt.rtt == 2.0
+        assert not hasattr(formulas_module, "make_formula")
+        assert not hasattr(experiments_module, "formula_to_params")
+        assert not hasattr(experiments_module, "formula_from_params")
 
     def test_registry_path_does_not_warn(self):
         from repro.api import FORMULAS
