@@ -233,6 +233,60 @@ def _bench_flowsim_campaign() -> Dict[str, Any]:
     return {"rows": result.flowlets_emitted}
 
 
+@register_benchmark(
+    "prediction-service",
+    "cold vs warm /predict p50 latency through the memoising prediction "
+    "service (6 distinct 20k-event points, then 5 warm passes each)",
+)
+def _bench_prediction_service() -> Dict[str, Any]:
+    import asyncio
+
+    from .service import PredictionService, ServiceConfig
+
+    payloads = [
+        {
+            "formula": {"kind": "pftk-simplified", "rtt": 1.0},
+            "loss_event_rate": rate,
+            "coefficient_of_variation": 0.999,
+            "history_length": 8,
+            "num_events": 20_000,
+            "seed": 7,
+        }
+        for rate in (0.02, 0.05, 0.08, 0.1, 0.15, 0.2)
+    ]
+
+    async def run(service: "PredictionService"):
+        cold: List[float] = []
+        for payload in payloads:
+            started = time.perf_counter()
+            response = await service.predict(payload)
+            cold.append(time.perf_counter() - started)
+            assert response["cache"] == "miss"
+        warm: List[float] = []
+        for _ in range(5):
+            for payload in payloads:
+                started = time.perf_counter()
+                response = await service.predict(payload)
+                warm.append(time.perf_counter() - started)
+                assert response["cache"] == "hit"
+        return cold, warm
+
+    service = PredictionService(ServiceConfig(cache_capacity=64, workers=2))
+    try:
+        cold, warm = asyncio.run(run(service))
+    finally:
+        service.close()
+    cold_p50 = statistics.median(cold)
+    warm_p50 = statistics.median(warm)
+    return {
+        "rows": len(cold) + len(warm),
+        "num_events": 20_000,
+        "cold_p50_s": cold_p50,
+        "warm_p50_s": warm_p50,
+        "warm_speedup": cold_p50 / warm_p50 if warm_p50 > 0 else None,
+    }
+
+
 SUITES: Dict[str, List[str]] = {
     "default": [
         "kernel-montecarlo-batch",
@@ -242,12 +296,18 @@ SUITES: Dict[str, List[str]] = {
         "scalar-analytic",
         "campaign-smoke",
         "flowsim-campaign",
+        "prediction-service",
     ],
     "kernels": [
         "kernel-montecarlo-batch",
         "kernel-montecarlo-batch-matched",
         "kernel-analytic-batch",
     ],
+    # The quick suite is the CI regression gate run at --repeats 3: only
+    # benchmarks with low single-run variance belong here.  The heavier
+    # prediction-service benchmark (thread pool + 36 HTTP-sized
+    # predictions) perturbs the fork-based campaign-smoke timing when
+    # both run in one process, so it tracks in 'default' only.
     "quick": [
         "kernel-montecarlo-batch",
         "kernel-analytic-batch",

@@ -41,6 +41,12 @@ the previous recording with a regression threshold::
 ``experiments run --telemetry`` enables :mod:`repro.telemetry` for the
 campaign and prints the counter snapshot after the summary.
 
+The long-running throughput-prediction service (``repro.service``: JSON
+over HTTP, memoising cache tier, single-flight coalescing) is started
+with the ``serve`` sub-command::
+
+    python -m repro.cli serve --port 8753 --store predictions.jsonl
+
 Each sub-command prints a small table to standard output; the benchmark
 harness under ``benchmarks/`` remains the canonical way to regenerate every
 figure with its shape checks.
@@ -291,6 +297,47 @@ def _print_sim_results(results: Sequence[api.SimResult]) -> None:
     _print_rows(["formula", "p", "cv", "L", "x_bar/f(p)", "x_bar"], rows)
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import PredictionService, ServiceConfig, serve_forever
+
+    if arguments.telemetry:
+        telemetry.enable(fresh=True)
+    service = PredictionService(
+        ServiceConfig(
+            cache_capacity=arguments.cache_capacity,
+            store_path=arguments.store,
+            workers=arguments.workers,
+        )
+    )
+
+    def ready(address) -> None:
+        host, port = address
+        print(f"repro prediction service listening on http://{host}:{port}", flush=True)
+        print(
+            f"  endpoints: POST /predict, POST /predict/batch, "
+            f"GET /stats, GET /healthz", flush=True,
+        )
+        store_note = arguments.store or "(memory only)"
+        print(
+            f"  cache: {arguments.cache_capacity} entries LRU, "
+            f"store {store_note}, {arguments.workers} workers", flush=True,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(
+                service, host=arguments.host, port=arguments.port, ready=ready
+            )
+        )
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
 def _load_spec(arguments: argparse.Namespace) -> ExperimentSpec:
     if getattr(arguments, "spec", None):
         with open(arguments.spec, "r", encoding="utf-8") as handle:
@@ -510,6 +557,24 @@ def build_parser() -> argparse.ArgumentParser:
                                       "and print the counter snapshot "
                                       "(also: REPRO_TELEMETRY=1)")
     experiments_run.set_defaults(handler=_command_experiments_run)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the throughput-prediction service (repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8753)
+    serve.add_argument("--store", default=None,
+                       help="JSONL path for persistent prediction memoisation")
+    serve.add_argument("--cache-capacity", type=int, default=4096,
+                       help="in-memory LRU entries (default: 4096)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="kernel worker threads / max batch shards "
+                            "(default: 2)")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="enable repro.telemetry counters and spans "
+                            "(also: REPRO_TELEMETRY=1)")
+    serve.set_defaults(handler=_command_serve)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -28,7 +28,14 @@ from .registry import (
 )
 from .runner import CampaignResult, ExperimentRunner, PointResult, execute_point
 from .spec import ExperimentPoint, ExperimentSpec, grid
-from .store import ResultStore
+from .store import (
+    LRUCache,
+    MemoisingStore,
+    ResultStore,
+    canonical_json,
+    canonical_payload,
+    result_key,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -39,6 +46,11 @@ __all__ = [
     "PointResult",
     "execute_point",
     "ResultStore",
+    "MemoisingStore",
+    "LRUCache",
+    "canonical_json",
+    "canonical_payload",
+    "result_key",
     "register_runner",
     "resolve_runner",
     "runner_kinds",

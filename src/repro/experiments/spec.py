@@ -19,13 +19,13 @@ is run serially, in a process pool, or alone.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from ..montecarlo.sweeps import derive_point_seed
+from .store import result_key
 
 __all__ = ["ExperimentSpec", "ExperimentPoint", "grid"]
 
@@ -50,10 +50,6 @@ def grid(**axes: Any) -> Dict[str, List[Any]]:
     return expanded
 
 
-def _canonical_json(payload: Any) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
-
-
 @dataclass(frozen=True)
 class ExperimentPoint:
     """One expanded point of a campaign.
@@ -75,12 +71,16 @@ class ExperimentPoint:
 
         The spec name and grid position are deliberately excluded so that
         identical work is recognised across differently-named or
-        differently-ordered campaigns.
+        differently-ordered campaigns.  Hashing goes through
+        :func:`repro.experiments.store.result_key`, whose canonical form
+        is insertion-order- and serialisation-stable: reordered-but-equal
+        params, tuple-vs-list values and component *instances* in
+        hand-written specs all produce the same key as their JSON
+        round-trip.
         """
-        canonical = _canonical_json(
+        return result_key(
             {"runner": self.runner, "params": self.params, "seed": self.seed}
         )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def payload(self) -> Dict[str, Any]:
         """JSON-safe execution payload for a worker process."""

@@ -1,0 +1,63 @@
+"""Throughput-prediction service: async serving over the ``repro.api`` kernels.
+
+The ROADMAP's "millions of users asking for Prop-1/3 predictions"
+workload: a long-running, dependency-free asyncio service exposing
+
+* ``POST /predict`` -- one :class:`~repro.api.SimConfig`-shaped request,
+* ``POST /predict/batch`` -- one :class:`~repro.api.BatchConfig` grid
+  routed through the vectorised kernels (sharded across a worker pool),
+* ``GET /stats`` and ``GET /healthz``,
+
+backed by the grid-point memoisation tier in
+:mod:`repro.experiments.store` (in-memory LRU over an optional
+persistent JSONL store) with canonical, schema-versioned cache keys and
+single-flight request coalescing.
+
+Start it from the command line::
+
+    python -m repro.cli serve --port 8753 --store predictions.jsonl
+
+or embed the core without HTTP::
+
+    from repro.service import PredictionService, ServiceConfig
+
+    service = PredictionService(ServiceConfig(cache_capacity=8192))
+    response = await service.predict({
+        "formula": "pftk-simplified", "loss_event_rate": 0.1,
+        "coefficient_of_variation": 0.9, "history_length": 8, "seed": 1})
+"""
+
+from .core import (
+    BadRequest,
+    PredictionService,
+    SCHEMA_VERSION,
+    ServiceConfig,
+    batch_request_key,
+    canonical_batch_request,
+    canonical_sim_request,
+    prediction_key,
+)
+from .http import serve_forever, start_service
+from .workers import (
+    effective_seed_axes,
+    merge_shard_results,
+    plan_shards,
+    shard_num_points,
+)
+
+__all__ = [
+    "BadRequest",
+    "PredictionService",
+    "SCHEMA_VERSION",
+    "ServiceConfig",
+    "batch_request_key",
+    "canonical_batch_request",
+    "canonical_sim_request",
+    "effective_seed_axes",
+    "merge_shard_results",
+    "plan_shards",
+    "prediction_key",
+    "serve_forever",
+    "shard_num_points",
+    "start_service",
+]

@@ -12,6 +12,59 @@ from repro.core import (
 from repro.lossprocess import ShiftedExponentialIntervals
 
 
+# ----------------------------------------------------------------------
+# Seeded random component-config generation (a tiny property-based
+# harness: no hypothesis dependency, deterministic by construction).
+# ----------------------------------------------------------------------
+def _perturb_value(value, rng):
+    """Randomise one config field while staying in its plausible domain.
+
+    Heuristics keep most perturbed configs valid: unit-interval floats
+    stay inside (0, 1), other positive floats scale up, ints nudge up.
+    Strings, bools, None and nested lists' non-numeric entries are kept.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value + int(rng.integers(0, 3))
+    if isinstance(value, float):
+        if 0.0 < value < 1.0:
+            return float(value * rng.uniform(0.5, 0.999))
+        if value > 0.0:
+            return float(value * rng.uniform(1.0, 2.0))
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_perturb_value(entry, rng) for entry in value]
+    return value
+
+
+def make_random_config(registry, kind, rng):
+    """A seeded random-but-valid config dict for one registered kind.
+
+    Starts from the registry's representative example, randomises every
+    parameter field, and verifies the result still constructs; if the
+    perturbation broke a validation rule, falls back to the unperturbed
+    canonical example config (still a valid case for key properties).
+    """
+    example = registry.examples()[kind]
+    config = registry.to_config(example)
+    perturbed = {
+        name: (value if name == "kind" else _perturb_value(value, rng))
+        for name, value in config.items()
+    }
+    try:
+        registry.from_config(perturbed)
+    except Exception:
+        return config
+    return perturbed
+
+
+@pytest.fixture
+def random_config_factory():
+    """``(registry, kind, rng) -> config dict``: seeded random generator."""
+    return make_random_config
+
+
 @pytest.fixture
 def sqrt_formula():
     """SQRT formula with unit RTT (the paper's reference setting)."""

@@ -245,8 +245,13 @@ class TestBenchCli:
     def test_bench_quick_records_and_compares(self, tmp_path, capsys):
         from repro.cli import main
 
+        # This test exercises the record/compare plumbing, not the gate:
+        # at --repeats 1 back-to-back medians of the fastest benchmarks
+        # jitter well past the default 30% threshold, so pin a wide one
+        # (the gate logic itself is covered by test_bench_regression_gate).
         argv = ["bench", "--suite", "quick", "--repeats", "1", "--warmup",
-                "0", "--quiet", "--dir", str(tmp_path)]
+                "0", "--quiet", "--threshold", "10.0", "--dir",
+                str(tmp_path)]
         assert main(list(argv)) == 0
         first = capsys.readouterr().out
         assert "starts the trajectory" in first
