@@ -106,6 +106,7 @@ def sampled_loss_event_rate(
     rates = np.asarray(rate_profile, dtype=float)
     if rates.shape != model.loss_event_rates.shape:
         raise ValueError("rate_profile must have one entry per congestion state")
+    # lint: allow[hygiene-float-eq] exact all-zero profile rejection
     if np.any(rates < 0.0) or np.all(rates == 0.0):
         raise ValueError("rate_profile must be non-negative and not all zero")
     weights = rates * model.stationary_probabilities

@@ -233,6 +233,7 @@ class SqrtFormula(LossThroughputFormula):
     def __post_init__(self) -> None:
         if self.rtt <= 0.0:
             raise ValueError(f"rtt must be positive, got {self.rtt}")
+        # lint: allow[hygiene-float-eq] 0.0 is the exact fill-in sentinel
         if self.c1 == 0.0:
             object.__setattr__(self, "c1", default_c1(self.b))
 
@@ -272,8 +273,10 @@ class PftkStandardFormula(LossThroughputFormula):
             raise ValueError(f"rtt must be positive, got {self.rtt}")
         if self.rto <= 0.0:
             object.__setattr__(self, "rto", 4.0 * self.rtt)
+        # lint: allow[hygiene-float-eq] 0.0 is the exact fill-in sentinel
         if self.c1 == 0.0:
             object.__setattr__(self, "c1", default_c1(self.b))
+        # lint: allow[hygiene-float-eq] 0.0 is the exact fill-in sentinel
         if self.c2 == 0.0:
             object.__setattr__(self, "c2", default_c2(self.b))
 
@@ -329,8 +332,10 @@ class PftkSimplifiedFormula(LossThroughputFormula):
             raise ValueError(f"rtt must be positive, got {self.rtt}")
         if self.rto <= 0.0:
             object.__setattr__(self, "rto", 4.0 * self.rtt)
+        # lint: allow[hygiene-float-eq] 0.0 is the exact fill-in sentinel
         if self.c1 == 0.0:
             object.__setattr__(self, "c1", default_c1(self.b))
+        # lint: allow[hygiene-float-eq] 0.0 is the exact fill-in sentinel
         if self.c2 == 0.0:
             object.__setattr__(self, "c2", default_c2(self.b))
 

@@ -1,0 +1,96 @@
+"""The committed baseline: known violations tolerated during adoption.
+
+A baseline entry identifies a diagnostic by ``(rule, path, message)`` --
+deliberately without a line number, so unrelated edits to a file do not
+invalidate it.  Matching is by multiset: two identical violations in one
+file need two entries.  The tree is expected to keep the baseline
+**empty**; the file exists so that a future deliberate exception can be
+parked explicitly (``--update-baseline``) instead of silencing a rule.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Baseline", "BASELINE_SCHEMA_VERSION"]
+
+BASELINE_SCHEMA_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """Load/apply/write the baseline file."""
+
+    def __init__(self, entries: List[Dict[str, str]] | None = None) -> None:
+        self.entries: List[Dict[str, str]] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read ``path``; a missing file is an empty baseline."""
+        if not Path(path).is_file():
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        entries = data.get("entries", [])
+        if not isinstance(entries, list):
+            raise ValueError(f"{path}: 'entries' must be a list")
+        for entry in entries:
+            if not all(key in entry for key in ("rule", "path", "message")):
+                raise ValueError(
+                    f"{path}: baseline entries need rule/path/message keys"
+                )
+        return cls(entries)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: List[Diagnostic]) -> "Baseline":
+        return cls(
+            [
+                {
+                    "rule": d.rule,
+                    "path": d.path,
+                    "message": d.message,
+                }
+                for d in sorted(
+                    diagnostics, key=lambda d: (d.path, d.line, d.rule)
+                )
+            ]
+        )
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_SCHEMA_VERSION,
+            "entries": self.entries,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, diagnostics: List[Diagnostic]
+    ) -> Tuple[List[Diagnostic], int]:
+        """Split diagnostics into (fresh, number-baselined)."""
+        budget: Counter[Fingerprint] = Counter(
+            (entry["rule"], entry["path"], entry["message"])
+            for entry in self.entries
+        )
+        fresh: List[Diagnostic] = []
+        baselined = 0
+        for diagnostic in diagnostics:
+            key = diagnostic.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                fresh.append(diagnostic)
+        return fresh, baselined
+
+    def __len__(self) -> int:
+        return len(self.entries)

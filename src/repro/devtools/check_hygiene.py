@@ -1,0 +1,139 @@
+"""Checker 5: hygiene (rules ``hygiene-broad-except``,
+``hygiene-mutable-default``, ``hygiene-float-eq``).
+
+* ``hygiene-broad-except`` -- an ``except Exception`` (or bare
+  ``except:``) handler must justify its breadth with a comment on the
+  same line or the line directly above, carrying a ``- <why>`` clause
+  (the repo's ``# noqa: BLE001 - isolation is the contract`` idiom).
+  Comments *inside* the handler body do not count: they tend to explain
+  the recovery, not why swallowing everything is safe.
+* ``hygiene-mutable-default`` -- list/dict/set literals (or bare
+  ``list()``/``dict()``/``set()`` calls) as parameter defaults are
+  shared across calls; use ``None`` plus an inside-the-body default.
+* ``hygiene-float-eq`` -- ``==`` / ``!=`` against a float literal is
+  almost always a rounding bug; use a tolerance, or waive a deliberate
+  exact-sentinel comparison with ``# lint: allow[hygiene-float-eq]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List
+
+from .diagnostics import Diagnostic
+from .engine import Project, SourceFile
+
+__all__ = [
+    "RULE_BROAD_EXCEPT",
+    "RULE_FLOAT_EQ",
+    "RULE_MUTABLE_DEFAULT",
+    "check",
+]
+
+RULE_BROAD_EXCEPT = "hygiene-broad-except"
+RULE_MUTABLE_DEFAULT = "hygiene-mutable-default"
+RULE_FLOAT_EQ = "hygiene-float-eq"
+
+#: A justification clause: a dash followed by prose (" - why"), as in
+#: the repo's `# noqa: BLE001 - isolation is the contract` idiom.
+JUSTIFICATION_RE = re.compile(r"(?:^|\s)-\s+\S")
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:  # bare except:
+        return True
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD_NAMES
+    if isinstance(kind, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name) and element.id in _BROAD_NAMES
+            for element in kind.elts
+        )
+    return False
+
+
+def _justified(source: SourceFile, line: int) -> bool:
+    for candidate in (line, line - 1):
+        comment = source.comments.get(candidate, "")
+        if comment and JUSTIFICATION_RE.search(comment):
+            return True
+    return False
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _check_file(project: Project, source: SourceFile) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ExceptHandler):
+            if _is_broad(node) and not _justified(source, node.lineno):
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else ""
+                )
+                label = f"except {caught}".strip()
+                diagnostics.append(
+                    project.diagnostic(
+                        RULE_BROAD_EXCEPT, source, node,
+                        f"'{label}' without a justification comment; "
+                        "narrow the exception or add a trailing "
+                        "'# ... - <why this breadth is safe>' comment",
+                    )
+                )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    diagnostics.append(
+                        project.diagnostic(
+                            RULE_MUTABLE_DEFAULT, source, default,
+                            f"mutable default argument in {node.name}(); "
+                            "one instance is shared across every call -- "
+                            "default to None and build inside the body",
+                        )
+                    )
+        elif isinstance(node, ast.Compare):
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                diagnostics.append(
+                    project.diagnostic(
+                        RULE_FLOAT_EQ, source, node,
+                        "== / != against a float literal; compare with a "
+                        "tolerance, or waive a deliberate exact-sentinel "
+                        "check with '# lint: allow[hygiene-float-eq] "
+                        "<reason>'",
+                    )
+                )
+    return diagnostics
+
+
+def check(project: Project) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for source in project.files:
+        diagnostics.extend(_check_file(project, source))
+    return diagnostics

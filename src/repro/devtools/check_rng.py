@@ -1,0 +1,121 @@
+"""Checker 1: RNG discipline (rule ``rng-discipline``).
+
+Determinism in this repo rests on one idiom: every random draw flows
+through a :class:`numpy.random.Generator` built by ``make_rng`` from a
+hash-derived seed (``derive_point_seed``, ``BatchConfig.point_seed``).
+Anything that touches *global* RNG state -- the stdlib :mod:`random`
+module, or ``np.random.seed``/``np.random.rand``-style legacy calls --
+silently breaks matched-seed equivalence between the scalar, batched and
+sharded paths.  This checker bans those at lint time:
+
+* any import of the stdlib ``random`` module;
+* ``np.random.<fn>`` attribute access for anything but the
+  generator-construction names (``default_rng``, ``Generator``,
+  ``SeedSequence`` and the bit generators);
+* ``from numpy.random import <fn>`` under the same allow-list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .diagnostics import Diagnostic
+from .engine import Project, SourceFile
+
+__all__ = ["RULE", "ALLOWED_NP_RANDOM", "check"]
+
+RULE = "rng-discipline"
+
+#: numpy.random names that construct explicit, seedable generators.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _check_file(project: Project, source: SourceFile) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    numpy_names = _numpy_aliases(source.tree)
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random":
+                    diagnostics.append(
+                        project.diagnostic(
+                            RULE, source, node,
+                            "stdlib 'random' uses global RNG state; draw "
+                            "through make_rng / numpy.random.default_rng "
+                            "with a derived seed",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                continue
+            module = node.module or ""
+            if module == "random" or module.startswith("random."):
+                diagnostics.append(
+                    project.diagnostic(
+                        RULE, source, node,
+                        "stdlib 'random' uses global RNG state; draw "
+                        "through make_rng / numpy.random.default_rng "
+                        "with a derived seed",
+                    )
+                )
+            elif module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NP_RANDOM:
+                        diagnostics.append(
+                            project.diagnostic(
+                                RULE, source, node,
+                                f"numpy.random.{alias.name} drives the "
+                                "legacy global generator; construct a "
+                                "Generator via default_rng(seed) instead",
+                            )
+                        )
+        elif isinstance(node, ast.Attribute):
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_names
+                and node.attr not in ALLOWED_NP_RANDOM
+            ):
+                diagnostics.append(
+                    project.diagnostic(
+                        RULE, source, node,
+                        f"np.random.{node.attr} mutates/reads the legacy "
+                        "global generator; construct a Generator via "
+                        "default_rng(seed) instead",
+                    )
+                )
+    return diagnostics
+
+
+def check(project: Project) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for source in project.files:
+        diagnostics.extend(_check_file(project, source))
+    return diagnostics

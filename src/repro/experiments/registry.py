@@ -580,6 +580,7 @@ def run_campaign_batched(spec: ExperimentSpec, workers: Optional[int] = None):
 
     try:
         batch = _simulate_batch(config)
+    # noqa: BLE001 - any grid-kernel failure falls back to the pool
     except Exception:
         # A whole-grid evaluation has no per-point isolation: one bad
         # point (a correlated process under method="analytic", a

@@ -218,6 +218,7 @@ class GilbertPacketLoss:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        # lint: allow[hygiene-float-eq] exact degenerate-chain rejection
         if self.good_loss_probability == 0.0 and self.bad_loss_probability == 0.0:
             raise ValueError("at least one state must have a positive loss probability")
 

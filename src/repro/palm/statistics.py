@@ -50,6 +50,7 @@ def correlation(x: Sequence[float], y: Sequence[float]) -> float:
         return 0.0
     x_std = float(np.std(x_array))
     y_std = float(np.std(y_array))
+    # lint: allow[hygiene-float-eq] np.std returns exact 0.0 for constants
     if x_std == 0.0 or y_std == 0.0:
         return 0.0
     return float(np.corrcoef(x_array, y_array)[0, 1])
@@ -77,6 +78,7 @@ def autocovariance(values: Sequence[float], lag: int) -> float:
 def autocorrelation(values: Sequence[float], lag: int) -> float:
     """Autocovariance normalised by the variance; zero for constant input."""
     variance = autocovariance(values, 0)
+    # lint: allow[hygiene-float-eq] exact zero-variance guard
     if variance == 0.0:
         return 0.0
     return autocovariance(values, lag) / variance
@@ -88,6 +90,7 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
     if array.ndim != 1 or array.size == 0:
         raise ValueError("values must be a non-empty 1-D sequence")
     mean = float(np.mean(array))
+    # lint: allow[hygiene-float-eq] exact zero-mean guard (division)
     if mean == 0.0:
         raise ValueError("mean is zero; coefficient of variation undefined")
     return float(np.std(array) / mean)

@@ -258,6 +258,7 @@ class PredictionService:
         self._inflight[key] = future
         try:
             value = await loop.run_in_executor(self._executor, compute)
+        # noqa: BLE001 - re-raised after the coalesced waiters get it
         except BaseException as exc:
             if not future.cancelled():
                 future.set_exception(exc)
@@ -349,6 +350,7 @@ class PredictionService:
                 )
             results = merge_shard_results(config, shards, batches)
             value = [_json_safe(result.to_dict()) for result in results]
+        # noqa: BLE001 - re-raised after the coalesced waiters get it
         except BaseException as exc:
             if not future.cancelled():
                 future.set_exception(exc)

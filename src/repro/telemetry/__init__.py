@@ -45,8 +45,14 @@ What the package records (when enabled)
 * ``kernel.*`` -- the vectorised Monte-Carlo and analytic kernels;
 * ``simulator.*`` -- events processed and events/sec per
   :meth:`repro.simulator.engine.Simulator.run`.
+
+Every name is declared in :mod:`repro.telemetry.catalog`; the
+``telemetry-catalog`` rule of :mod:`repro.devtools` rejects instrument
+name literals that are missing from the catalog or that stray from the
+dotted-lowercase scheme.
 """
 
+from .catalog import CATALOG, is_catalogued, validate_name
 from .core import (
     MetricsRegistry,
     Span,
@@ -63,6 +69,7 @@ from .core import (
 from .export import export_json, export_spans_jsonl, snapshot
 
 __all__ = [
+    "CATALOG",
     "MetricsRegistry",
     "Span",
     "disable",
@@ -72,9 +79,11 @@ __all__ = [
     "export_spans_jsonl",
     "get_registry",
     "incr",
+    "is_catalogued",
     "observe",
     "reset",
     "set_gauge",
     "snapshot",
     "span",
+    "validate_name",
 ]
