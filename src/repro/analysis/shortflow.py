@@ -1,0 +1,165 @@
+"""Short-flow friendliness: finite transfers vs the long-flow asymptote.
+
+The paper's TCP-friendliness claims (and the breakdown of
+:mod:`repro.core.friendliness`) are phrased for long-lived flows, where
+the equation-based source and the competing TCP both sit at their
+steady-state rates.  A finite transfer never reaches that asymptote: the
+handshake, the initial slow-start and the timeout cost of the CSA00
+latency model (:mod:`repro.core.shortflow`) are paid before any
+steady-state behaviour, so the *effective* rate ``size / E[latency]``
+of a short flow sits below ``f(p, r)`` and climbs towards it with size.
+
+This module reuses the four-sub-condition machinery verbatim: for each
+transfer size, the short flow becomes the ``source``
+:class:`~repro.core.friendliness.FlowObservation` (throughput = the
+model's effective rate) and an idealised long-lived TCP at the same
+loss-event rate and RTT becomes the ``tcp`` observation (throughput =
+the formula prediction at that RTT).  The resulting
+:class:`~repro.core.friendliness.FriendlinessBreakdown` then isolates
+exactly the conservativeness axis: loss-rate and RTT orderings are one
+by construction, and ``throughput_ratio`` equals the short-over-steady
+rate ratio -- the friendliness-vs-flow-size curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.formulas import LossThroughputFormula
+from ..core.friendliness import FlowObservation, FriendlinessBreakdown, breakdown
+from ..core.shortflow import LatencyModel
+
+__all__ = [
+    "ShortFlowPoint",
+    "ShortFlowFriendliness",
+    "shortflow_friendliness",
+    "compare_latency_models",
+]
+
+
+@dataclass(frozen=True)
+class ShortFlowPoint:
+    """One transfer size on the friendliness-vs-flow-size curve."""
+
+    transfer_size: float
+    latency: float
+    transfer_rate: float
+    steady_state_rate: float
+    breakdown: FriendlinessBreakdown
+
+    @property
+    def rate_ratio(self) -> float:
+        """Effective over steady-state rate (== ``throughput_ratio``)."""
+        return self.breakdown.throughput_ratio
+
+
+@dataclass(frozen=True)
+class ShortFlowFriendliness:
+    """The friendliness-vs-flow-size curve of one (model, formula) pair."""
+
+    label: str
+    loss_event_rate: float
+    rtt: float
+    points: Tuple[ShortFlowPoint, ...]
+
+    def rate_ratios(self) -> Tuple[float, ...]:
+        """The short-over-steady rate ratio per transfer size."""
+        return tuple(point.rate_ratio for point in self.points)
+
+    def crossover_size(self, threshold: float = 0.5) -> Optional[float]:
+        """Smallest swept size reaching ``threshold`` of steady state.
+
+        Returns ``None`` when no swept size reaches it -- every transfer
+        in the sweep stays further below the long-flow asymptote than
+        the threshold allows.
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        for point in self.points:
+            if point.rate_ratio >= threshold:
+                return point.transfer_size
+        return None
+
+
+def shortflow_friendliness(
+    model: LatencyModel,
+    formula: LossThroughputFormula,
+    sizes: Sequence[float],
+    loss_event_rate: float,
+    label: str = "short-flow",
+) -> ShortFlowFriendliness:
+    """Friendliness-vs-flow-size breakdown of one latency model.
+
+    Parameters
+    ----------
+    model:
+        The short-flow latency model; its ``rtt`` fixes the round-trip
+        time of both observations.
+    formula:
+        The steady-state loss-throughput formula playing the long-lived
+        TCP.  Its prediction is rescaled to the model's RTT through
+        :meth:`~repro.core.friendliness.FlowObservation.
+        formula_prediction`, exactly as measured flows are.
+    sizes:
+        Transfer sizes in packets, ascending for a meaningful
+        :meth:`~ShortFlowFriendliness.crossover_size`.
+    loss_event_rate:
+        The shared loss-event rate ``p`` seen by both flows.
+    """
+    if not sizes:
+        raise ValueError("sizes must be non-empty")
+    rtt = float(model.rtt)
+    points = []
+    for size in sizes:
+        size = float(size)
+        latency = float(model.latency(size, loss_event_rate))
+        source = FlowObservation(
+            throughput=size / latency,
+            loss_event_rate=loss_event_rate,
+            mean_rtt=rtt,
+            label=label,
+        )
+        tcp = FlowObservation(
+            throughput=float(formula.rate(loss_event_rate))
+            * float(formula.rtt)
+            / rtt,
+            loss_event_rate=loss_event_rate,
+            mean_rtt=rtt,
+            label="tcp",
+        )
+        points.append(
+            ShortFlowPoint(
+                transfer_size=size,
+                latency=latency,
+                transfer_rate=source.throughput,
+                steady_state_rate=tcp.throughput,
+                breakdown=breakdown(source, tcp, formula),
+            )
+        )
+    return ShortFlowFriendliness(
+        label=label,
+        loss_event_rate=float(loss_event_rate),
+        rtt=rtt,
+        points=tuple(points),
+    )
+
+
+def compare_latency_models(
+    models: Mapping[str, LatencyModel],
+    formula: LossThroughputFormula,
+    sizes: Sequence[float],
+    loss_event_rate: float,
+) -> Dict[str, ShortFlowFriendliness]:
+    """The cross-model friendliness-vs-flow-size comparison.
+
+    One :func:`shortflow_friendliness` curve per named model (e.g. CSA00
+    at different initial windows or RTO settings) against the same
+    steady-state formula, keyed and labelled by the mapping's keys.
+    """
+    return {
+        name: shortflow_friendliness(
+            model, formula, sizes, loss_event_rate, label=name
+        )
+        for name, model in models.items()
+    }

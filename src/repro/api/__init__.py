@@ -38,6 +38,7 @@ path.
 from .components import (
     FORMULAS,
     GENERATORS,
+    LATENCY_MODELS,
     LOSS_PROCESSES,
     SCENARIOS,
     WEIGHT_PROFILES,
@@ -68,6 +69,7 @@ from .simulate import (
 __all__ = [
     "ComponentRegistry",
     "FORMULAS",
+    "LATENCY_MODELS",
     "LOSS_PROCESSES",
     "WEIGHT_PROFILES",
     "SCENARIOS",

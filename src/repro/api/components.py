@@ -8,6 +8,7 @@ a stable ``kind``:
 registry                  kinds
 ========================  =====================================================
 :data:`FORMULAS`          sqrt, pftk-standard, pftk-simplified, aimd, msmo97
+:data:`LATENCY_MODELS`    csa00
 :data:`LOSS_PROCESSES`    shifted-exponential, deterministic, gamma, lognormal,
                           empirical, geometric, markov-modulated, two-phase,
                           gilbert, trace
@@ -15,6 +16,12 @@ registry                  kinds
 :data:`SCENARIOS`         ns2, lab, internet, dumbbell
 :data:`GENERATORS`        fixed-population, poisson-arrivals, on-off
 ========================  =====================================================
+
+``FORMULAS`` holds the steady-state loss-throughput models of the
+paper; ``LATENCY_MODELS`` holds the complementary short-flow
+expected-transfer-latency models (:mod:`repro.core.shortflow`), which
+map a finite transfer size and loss-event rate to seconds instead of a
+rate.
 
 This module absorbed the pre-existing ad-hoc construction paths (the
 formula table behind the removed ``make_formula`` /
@@ -35,6 +42,7 @@ from ..core.formulas import (
     PftkStandardFormula,
     SqrtFormula,
 )
+from ..core.shortflow import Csa00LatencyModel, LatencyModel
 from ..flowsim.generators import (
     FixedPopulationGenerator,
     OnOffGenerator,
@@ -73,6 +81,7 @@ from .scenarios import (
 
 __all__ = [
     "FORMULAS",
+    "LATENCY_MODELS",
     "LOSS_PROCESSES",
     "WEIGHT_PROFILES",
     "SCENARIOS",
@@ -100,6 +109,17 @@ FORMULAS.register(
 )
 FORMULAS.register(
     "msmo97", Msmo97Formula, example=lambda: Msmo97Formula(rtt=0.2)
+)
+
+
+# ----------------------------------------------------------------------
+# Short-flow latency models
+# ----------------------------------------------------------------------
+LATENCY_MODELS = ComponentRegistry("latency model", LatencyModel)
+LATENCY_MODELS.register(
+    "csa00",
+    Csa00LatencyModel,
+    example=lambda: Csa00LatencyModel(rtt=0.1, initial_window=2),
 )
 
 

@@ -58,6 +58,12 @@ DEFAULT_THRESHOLD = 0.30
 DEFAULT_REPEATS = 5
 _BENCH_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
 
+#: The clock behind :func:`_time_once`.  Module-level so tests can
+#: install a deterministic fake and exercise the recording/comparison
+#: pipeline at ``repeats=1`` without wall-clock jitter widening their
+#: thresholds.
+_TIMER: Callable[[], float] = time.perf_counter
+
 
 @dataclass(frozen=True)
 class Benchmark:
@@ -287,6 +293,34 @@ def _bench_prediction_service() -> Dict[str, Any]:
     }
 
 
+@register_benchmark(
+    "shortflow-batch",
+    "vectorised CSA00 short-flow latency surface through the batched "
+    "campaign path (40 sizes x 30 loss rates x 2 RTTs)",
+)
+def _bench_shortflow_batch() -> Dict[str, Any]:
+    from .experiments import ExperimentSpec, run_campaign_batched
+
+    spec = ExperimentSpec(
+        name="bench-shortflow",
+        runner="shortflow",
+        base={
+            "latency_model": {"kind": "csa00", "initial_window": 2},
+            "formula": {"kind": "pftk-standard"},
+        },
+        grid={
+            "transfer_size": [float(2 * (i + 1)) for i in range(40)],
+            "loss_event_rate": [0.004 + 0.004 * i for i in range(30)],
+            "rtt": [0.05, 0.2],
+        },
+        seed=2000,
+        description="shortflow batched-path benchmark grid",
+    )
+    campaign = run_campaign_batched(spec)
+    campaign.raise_errors()
+    return {"rows": campaign.num_points}
+
+
 SUITES: Dict[str, List[str]] = {
     "default": [
         "kernel-montecarlo-batch",
@@ -296,6 +330,7 @@ SUITES: Dict[str, List[str]] = {
         "scalar-analytic",
         "campaign-smoke",
         "flowsim-campaign",
+        "shortflow-batch",
         "prediction-service",
     ],
     "kernels": [
@@ -308,6 +343,13 @@ SUITES: Dict[str, List[str]] = {
     # prediction-service benchmark (thread pool + 36 HTTP-sized
     # predictions) perturbs the fork-based campaign-smoke timing when
     # both run in one process, so it tracks in 'default' only.
+    # The service suite isolates the prediction-service benchmark: its
+    # thread pool perturbs fork-based campaign timings when mixed into
+    # one process (see the 'quick' note), and the repeats=1 CLI
+    # regression test drives exactly this suite.
+    "service": [
+        "prediction-service",
+    ],
     "quick": [
         "kernel-montecarlo-batch",
         "kernel-analytic-batch",
@@ -332,9 +374,9 @@ def suite_benchmarks(suite: str) -> List[Benchmark]:
 # Running and summarising
 # ----------------------------------------------------------------------
 def _time_once(fn: Callable[[], Dict[str, Any]]) -> Tuple[float, Dict[str, Any]]:
-    started = time.perf_counter()
+    started = _TIMER()
     meta = fn() or {}
-    return time.perf_counter() - started, meta
+    return _TIMER() - started, meta
 
 
 def _summarise(samples: Sequence[float]) -> Dict[str, Any]:

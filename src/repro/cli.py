@@ -8,6 +8,7 @@ regenerated without writing Python::
     python -m repro.cli claim3
     python -m repro.cli claim4 --beta 0.5
     python -m repro.cli audio --loss-probability 0.2
+    python -m repro.cli shortflow --loss-rate 0.02 --sizes 10 100 1000
 
 Single evaluation points -- and vectorised grids -- go through the
 ``repro.api`` facade::
@@ -298,6 +299,52 @@ def _print_sim_results(results: Sequence[api.SimResult]) -> None:
     _print_rows(["formula", "p", "cv", "L", "x_bar/f(p)", "x_bar"], rows)
 
 
+def _command_shortflow(arguments: argparse.Namespace) -> int:
+    from .analysis import shortflow_friendliness
+
+    model = api.LATENCY_MODELS.from_config(
+        {
+            "kind": arguments.model,
+            "rtt": arguments.rtt,
+            "initial_window": arguments.initial_window,
+        }
+    )
+    formula = api.FORMULAS.from_config(
+        {"kind": arguments.formula, "rtt": arguments.rtt}
+    )
+    curve = shortflow_friendliness(
+        model, formula, arguments.sizes, arguments.loss_rate
+    )
+    rows = [
+        [
+            point.transfer_size,
+            point.latency,
+            point.transfer_rate,
+            point.steady_state_rate,
+            point.rate_ratio,
+        ]
+        for point in curve.points
+    ]
+    print(
+        f"Short-flow latency ({arguments.model} vs {arguments.formula}): "
+        f"p={arguments.loss_rate}, rtt={arguments.rtt}s"
+    )
+    _print_rows(
+        ["size (pkt)", "E[latency] s", "size/E[lat]", "f(p)", "ratio"], rows
+    )
+    crossover = curve.crossover_size(arguments.crossover)
+    if crossover is None:
+        print(
+            f"no swept size reaches {arguments.crossover:.0%} of steady state"
+        )
+    else:
+        print(
+            f"first size at >= {arguments.crossover:.0%} of steady state: "
+            f"{crossover:g} packets"
+        )
+    return 0
+
+
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
 
@@ -558,6 +605,26 @@ def build_parser() -> argparse.ArgumentParser:
                                       "and print the counter snapshot "
                                       "(also: REPRO_TELEMETRY=1)")
     experiments_run.set_defaults(handler=_command_experiments_run)
+
+    shortflow = subparsers.add_parser(
+        "shortflow",
+        help="short-flow expected transfer latency vs steady state "
+             "(repro.api.LATENCY_MODELS)",
+    )
+    shortflow.add_argument("--model", default="csa00",
+                           help="latency-model kind (default: csa00)")
+    shortflow.add_argument("--formula", default="pftk-standard",
+                           help="steady-state comparison formula")
+    shortflow.add_argument("--sizes", type=float, nargs="+",
+                           default=[4.0, 16.0, 64.0, 256.0, 1024.0],
+                           help="transfer sizes in packets")
+    shortflow.add_argument("--loss-rate", type=float, default=0.02)
+    shortflow.add_argument("--rtt", type=float, default=0.1)
+    shortflow.add_argument("--initial-window", type=int, default=2)
+    shortflow.add_argument("--crossover", type=float, default=0.5,
+                           help="steady-state fraction for the crossover "
+                                "size (default: 0.5)")
+    shortflow.set_defaults(handler=_command_shortflow)
 
     serve = subparsers.add_parser(
         "serve",

@@ -50,6 +50,7 @@ from .formulas import (
     default_c2,
 )
 from .rtt import EventAverageRtt, EwmaRttEstimator, JacobsonRttEstimator
+from .shortflow import Csa00LatencyModel, LatencyModel
 from .friendliness import (
     FlowObservation,
     FriendlinessBreakdown,
@@ -76,6 +77,9 @@ __all__ = [
     "Msmo97Formula",
     "default_c1",
     "default_c2",
+    # short-flow latency models
+    "LatencyModel",
+    "Csa00LatencyModel",
     # estimator
     "MovingAverageEstimator",
     "EstimatorTrace",

@@ -91,7 +91,12 @@ def _as_array(p: ArrayLike) -> np.ndarray:
 def _validate_loss_rate(p: np.ndarray) -> None:
     # The argument is allowed to exceed 1: the controls evaluate f at
     # 1/theta_hat, and the estimator can transiently fall below one packet
-    # under heavy loss.  Only non-positive values are rejected.
+    # under heavy loss.  Non-positive and non-finite values are rejected
+    # uniformly across the formula zoo -- before this guard, a nan slipped
+    # through every formula silently (nan fails the <= comparison) and an
+    # inf produced a silent 0.0 rate instead of a clear domain error.
+    if not np.all(np.isfinite(p)):
+        raise ValueError("loss-event rate p must be finite (got nan or inf)")
     if np.any(p <= 0.0):
         raise ValueError("loss-event rate p must be strictly positive")
 

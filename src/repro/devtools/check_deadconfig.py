@@ -1,0 +1,139 @@
+"""Checker 6: registry kinds nothing references (rule ``dead-config``).
+
+Every ``REGISTRY.register("kind", Cls, ...)`` call in the tree publishes
+a component kind; a kind that no preset, benchmark grid, CLI default or
+example spec ever names is configuration surface without coverage -- it
+ships untested construction paths and silently rots when the class
+behind it changes shape.
+
+A kind counts as *referenced* when its string appears in:
+
+* any configured *reference module*
+  (``dead-config-reference-modules``, by default the experiments
+  preset registry, the benchmark definitions and the CLI), counting
+  every string literal **outside docstrings** -- docstrings routinely
+  enumerate the whole kind table and would mask every miss;
+* any ``.json`` file under a configured *spec directory*
+  (``dead-config-spec-dirs``, by default ``examples/specs``), counting
+  every string value recursively;
+* the explicit ``dead-config-allow`` list, for kinds that are
+  deliberately construction-only.
+
+The registration file itself never counts: registering is publishing,
+not referencing.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Any, List, Set, Tuple
+
+from .check_registry import _registry_names
+from .diagnostics import Diagnostic
+from .engine import Project, SourceFile
+
+__all__ = ["RULE", "check"]
+
+RULE = "dead-config"
+
+
+def _docstring_constants(tree: ast.Module) -> Set[int]:
+    """ids of the Constant nodes that are docstrings."""
+    nodes: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node,
+            (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                nodes.add(id(body[0].value))
+    return nodes
+
+
+def _string_literals(source: SourceFile) -> Set[str]:
+    """Every string literal in the module, docstrings excluded."""
+    docstrings = _docstring_constants(source.tree)
+    return {
+        node.value
+        for node in ast.walk(source.tree)
+        if isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and id(node) not in docstrings
+    }
+
+
+def _json_strings(value: Any, collected: Set[str]) -> None:
+    if isinstance(value, str):
+        collected.add(value)
+    elif isinstance(value, list):
+        for item in value:
+            _json_strings(item, collected)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _json_strings(item, collected)
+
+
+def _registered_kinds(
+    source: SourceFile,
+) -> List[Tuple[str, str, ast.Call]]:
+    """The ``(registry, kind, call)`` registrations of one file."""
+    registries = _registry_names(source)
+    if not registries:
+        return []
+    kinds: List[Tuple[str, str, ast.Call]] = []
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "register"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in registries
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            kinds.append((node.func.value.id, node.args[0].value, node))
+    return kinds
+
+
+def check(project: Project) -> List[Diagnostic]:
+    config = project.config
+
+    references: Set[str] = set(config.deadconfig_allow)
+    for module in config.deadconfig_reference_modules:
+        source = project.by_module.get(module)
+        if source is not None:
+            references |= _string_literals(source)
+    for spec_dir in config.deadconfig_spec_dirs:
+        directory = config.root / spec_dir
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # unreadable specs are not this rule's concern
+            _json_strings(payload, references)
+
+    diagnostics: List[Diagnostic] = []
+    for source in project.files:
+        for registry, kind, call in _registered_kinds(source):
+            if kind in references:
+                continue
+            diagnostics.append(
+                project.diagnostic(
+                    RULE, source, call,
+                    f"kind '{kind}' of registry {registry} is referenced "
+                    "by no preset, benchmark, CLI default, or example "
+                    "spec; add a reference or list it under "
+                    "dead-config-allow",
+                )
+            )
+    return diagnostics

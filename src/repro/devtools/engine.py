@@ -198,6 +198,7 @@ def _checkers():
     # Imported here so the checker modules can use engine helpers
     # without a cycle at import time.
     from . import (
+        check_deadconfig,
         check_hygiene,
         check_layers,
         check_registry,
@@ -211,6 +212,7 @@ def _checkers():
         check_registry.check,
         check_telemetry.check,
         check_hygiene.check,
+        check_deadconfig.check,
     )
 
 

@@ -30,6 +30,11 @@ component API in :mod:`repro.api`:
     The flow-level engine of :mod:`repro.flowsim`: per-interval
     throughput sampling over an entire flow population (no packets),
     for thousand-to-million-flow scenario points.
+``shortflow``
+    Closed-form short-flow expected transfer latency (the
+    ``repro.api.LATENCY_MODELS`` registry, CSA00 by default) over
+    (transfer size, loss-event rate, RTT) axes, with an optional
+    steady-state formula comparison per point.
 
 Custom kinds can be registered with :func:`register_runner`; the function
 must live at module level so it survives pickling into worker processes.
@@ -48,9 +53,10 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
-from ..api.components import FORMULAS, SCENARIOS
+from ..api.components import FORMULAS, LATENCY_MODELS, SCENARIOS
 from ..api.simulate import BatchConfig, SimConfig
 from ..api.simulate import simulate as _simulate_point
 from ..api.simulate import simulate_batch as _simulate_batch
@@ -69,6 +75,7 @@ __all__ = [
     "resolve_runner",
     "runner_kinds",
     "spec_to_batch_config",
+    "spec_to_shortflow_axes",
     "run_campaign_batched",
     "preset",
     "preset_names",
@@ -195,6 +202,16 @@ def _scenario_from_params(params: Dict[str, Any]):
     if "scenario" in params:
         return SCENARIOS.from_config(params["scenario"])
 
+    # The flat form predates the component registries and used to be
+    # accepted silently, leaving specs on a construction path with no
+    # schema and no round-trip guarantee.
+    warnings.warn(
+        "flat dumbbell parameters (family=/num_connections=/...) are "
+        "deprecated; pass a 'scenario' component config instead, e.g. "
+        "{'scenario': {'kind': 'ns2', 'num_connections': 2}}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
     family = params.get("family", "ns2")
     num_connections = int(params.get("num_connections", 1))
     history_length = int(params.get("history_length", 8))
@@ -443,9 +460,72 @@ def run_flowsim_scenario(params: Dict[str, Any], seed: Optional[int]) -> Dict[st
         duration=float(params.get("duration", 100.0)),
         interval=float(params.get("interval", 1.0)),
         sampling=params.get("sampling", "estimator"),
+        latency_model=params.get("latency_model"),
         seed=seed,
     )
     return run_flowsim(config).summary()
+
+
+def _shortflow_model_and_formula(params: Dict[str, Any]):
+    """Resolve the point's latency model and comparison formula.
+
+    An ``rtt`` axis overrides the round-trip time of both components, so
+    one spec can sweep RTT without enumerating per-RTT configs.  The
+    override goes through the config dict (not ``dataclasses.replace``)
+    so derived defaults -- CSA00's ``rto = 2 * rtt`` fill-in -- re-derive
+    at the new RTT unless the spec pinned them explicitly.
+    """
+    model_config = dict(params.get("latency_model") or {"kind": "csa00"})
+    formula_config = params.get("formula")
+    formula_config = dict(formula_config) if formula_config is not None else None
+    if "rtt" in params:
+        model_config["rtt"] = float(params["rtt"])
+        if formula_config is not None:
+            formula_config["rtt"] = float(params["rtt"])
+    model = LATENCY_MODELS.from_config(model_config)
+    formula = (
+        FORMULAS.from_config(formula_config)
+        if formula_config is not None
+        else None
+    )
+    return model, formula
+
+
+def run_shortflow_point(params: Dict[str, Any], seed: Optional[int]) -> Dict[str, Any]:
+    """One short-flow latency point: expected transfer latency vs size.
+
+    The point names a ``latency_model`` config (any registered
+    ``repro.api.LATENCY_MODELS`` kind, default CSA00), a transfer size in
+    packets and a loss-event rate, plus an optional steady-state
+    ``formula`` for comparison.  The model is closed form, so the seed is
+    unused; the runner keeps the common signature for the campaign
+    machinery.
+    """
+    model, formula = _shortflow_model_and_formula(params)
+    size = float(params["transfer_size"])
+    loss_event_rate = float(params["loss_event_rate"])
+    components = (
+        model.components(size, loss_event_rate)
+        if hasattr(model, "components")
+        else {"latency": model.latency(size, loss_event_rate)}
+    )
+    value: Dict[str, Any] = {
+        "transfer_size": size,
+        "loss_event_rate": loss_event_rate,
+        "rtt": float(model.rtt),
+        "transfer_rate": float(size / components["latency"]),
+    }
+    for name, component in components.items():
+        value[name] = float(component)
+    if formula is not None:
+        steady_state = float(formula.rate(loss_event_rate))
+        value["steady_state_rate"] = steady_state
+        value["rate_ratio"] = (
+            value["transfer_rate"] / steady_state
+            if steady_state > 0
+            else float("nan")
+        )
+    return value
 
 
 register_runner("montecarlo-basic", run_montecarlo_basic)
@@ -454,6 +534,7 @@ register_runner("dumbbell", run_dumbbell_scenario)
 register_runner("dumbbell-batch", run_dumbbell_batch)
 register_runner("audio", run_audio_scenario)
 register_runner("flowsim", run_flowsim_scenario)
+register_runner("shortflow", run_shortflow_point)
 
 
 # ----------------------------------------------------------------------
@@ -557,6 +638,119 @@ def spec_to_batch_config(spec: ExperimentSpec) -> Optional[BatchConfig]:
         return None
 
 
+_SHORTFLOW_AXIS_NAMES = frozenset({"transfer_size", "loss_event_rate", "rtt"})
+_SHORTFLOW_BASE_KEYS = _SHORTFLOW_AXIS_NAMES | {"latency_model", "formula"}
+
+
+def spec_to_shortflow_axes(
+    spec: ExperimentSpec,
+) -> Optional[Dict[str, List[float]]]:
+    """Translate an eligible shortflow campaign into vectorisable axes.
+
+    The latency models are closed-form and seedless, so -- unlike
+    :func:`spec_to_batch_config` -- there is no seed-fidelity constraint:
+    any ``shortflow`` spec whose grid stays on the (transfer size,
+    loss-event rate, RTT) axes is batchable, and the vectorised grid
+    reproduces the per-point runner exactly.  Returns the expanded axis
+    values (``rtt`` defaults to ``[nan]`` meaning "whatever the configs
+    carry"), or ``None`` when the spec needs the process pool.
+    """
+    if spec.runner != "shortflow":
+        return None
+    if set(spec.grid) - _SHORTFLOW_AXIS_NAMES:
+        return None
+    if set(spec.base) - _SHORTFLOW_BASE_KEYS:
+        return None
+
+    def axis(name: str) -> Optional[List[float]]:
+        if name in spec.grid:
+            return [float(value) for value in spec.grid[name]]
+        if name in spec.base:
+            return [float(spec.base[name])]
+        return None
+
+    sizes = axis("transfer_size")
+    rates = axis("loss_event_rate")
+    if sizes is None or rates is None:
+        return None
+    rtts = axis("rtt")
+    return {
+        "transfer_size": sizes,
+        "loss_event_rate": rates,
+        # None means "whatever RTT the component configs carry"; nan
+        # would break the row lookup (nan != nan as a dict key).
+        "rtt": rtts if rtts is not None else [None],
+    }
+
+
+def _run_shortflow_batched(spec: ExperimentSpec, axes: Dict[str, List[float]]):
+    """Evaluate a shortflow campaign as vectorised numpy grids.
+
+    One ``components`` call per RTT value covers the whole (transfer
+    size, loss-event rate) plane; the rows are then re-emitted in
+    spec-expansion order.  Raises on any model/formula construction or
+    domain error -- the caller falls back to the pool, which records the
+    failure point by point.
+    """
+    import numpy as np
+
+    from .. import telemetry
+    from .runner import CampaignResult, PointResult
+
+    sizes = np.asarray(axes["transfer_size"], dtype=float)
+    rates = np.asarray(axes["loss_event_rate"], dtype=float)
+
+    with telemetry.span("shortflow.batch", rtts=len(axes["rtt"])) as span:
+        rows: Dict[Any, Dict[str, Any]] = {}
+        for rtt in axes["rtt"]:
+            params = dict(spec.base)
+            if rtt is not None:
+                params["rtt"] = rtt
+            model, formula = _shortflow_model_and_formula(params)
+            components = (
+                model.components(sizes[:, None], rates[None, :])
+                if hasattr(model, "components")
+                else {"latency": model.latency(sizes[:, None], rates[None, :])}
+            )
+            steady_state = (
+                formula.rate(rates) if formula is not None else None
+            )
+            for i, size in enumerate(axes["transfer_size"]):
+                for j, rate in enumerate(axes["loss_event_rate"]):
+                    value: Dict[str, Any] = {
+                        "transfer_size": size,
+                        "loss_event_rate": rate,
+                        "rtt": float(model.rtt),
+                        "transfer_rate": float(
+                            size / components["latency"][i, j]
+                        ),
+                    }
+                    for name, component in components.items():
+                        value[name] = float(component[i, j])
+                    if steady_state is not None:
+                        value["steady_state_rate"] = float(steady_state[j])
+                        value["rate_ratio"] = (
+                            value["transfer_rate"] / value["steady_state_rate"]
+                            if value["steady_state_rate"] > 0
+                            else float("nan")
+                        )
+                    rows[(size, rate, rtt)] = value
+
+        campaign = CampaignResult(spec=spec)
+        for point in spec.expand():
+            key = (
+                float(point.params["transfer_size"]),
+                float(point.params["loss_event_rate"]),
+                float(point.params["rtt"]) if "rtt" in point.params else None,
+            )
+            campaign.results.append(
+                PointResult(point=point, status="ok", value=rows[key])
+            )
+        span.set("items", len(campaign.results))
+        telemetry.incr("shortflow.points", len(campaign.results))
+    return campaign
+
+
 def run_campaign_batched(spec: ExperimentSpec, workers: Optional[int] = None):
     """Run a campaign through the vectorised kernels where eligible.
 
@@ -573,6 +767,18 @@ def run_campaign_batched(spec: ExperimentSpec, workers: Optional[int] = None):
     matters more than batch speed.
     """
     from .runner import CampaignResult, ExperimentRunner, PointResult
+
+    shortflow_axes = spec_to_shortflow_axes(spec)
+    if shortflow_axes is not None:
+        try:
+            return _run_shortflow_batched(spec, shortflow_axes)
+        # noqa: BLE001 - any grid failure falls back to the pool
+        except Exception:
+            # Same contract as the montecarlo batch below: a whole-grid
+            # evaluation has no per-point isolation (one out-of-domain
+            # loss rate would abort every point), so re-run through the
+            # pool, which records bad points as error rows.
+            return ExperimentRunner(workers=workers).run(spec)
 
     config = spec_to_batch_config(spec)
     if config is None:
@@ -816,6 +1022,37 @@ def _fig5_batch_spec() -> ExperimentSpec:
     )
 
 
+def _fig_shortflow_spec() -> ExperimentSpec:
+    """Short-flow latency surface: CSA00 over size x loss rate x RTT.
+
+    The CSA00 expected-transfer-latency model against the PFTK-standard
+    steady-state rate at the same loss rate and RTT: ``rate_ratio``
+    (short-flow effective rate over steady-state rate) shows how far
+    below the long-flow asymptote a finite transfer lands -- the
+    finite-transfer complement to the paper's long-lived-flow
+    friendliness claims.
+    """
+    return ExperimentSpec(
+        name="fig-shortflow",
+        runner="shortflow",
+        base={
+            "latency_model": {"kind": "csa00", "initial_window": 2},
+            "formula": {"kind": "pftk-standard"},
+        },
+        grid={
+            "transfer_size": [4.0, 16.0, 64.0, 256.0, 1024.0],
+            "loss_event_rate": [0.005, 0.02, 0.05, 0.1, 0.2],
+            "rtt": [0.05, 0.2],
+        },
+        seed=2000,
+        description=(
+            "Short-flow latency surface: CSA00 expected transfer latency "
+            "and effective rate vs steady-state PFTK-standard, over "
+            "transfer size x loss-event rate x RTT."
+        ),
+    )
+
+
 def _smoke_spec() -> ExperimentSpec:
     return ExperimentSpec(
         name="smoke",
@@ -911,6 +1148,7 @@ PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {
     "fig6-audio": _fig6_spec,
     "fig11-internet": _fig11_spec,
     "fig16-lab": _fig16_spec,
+    "fig-shortflow": _fig_shortflow_spec,
     "flowsim-scale": _flowsim_scale_spec,
     "smoke": _smoke_spec,
 }

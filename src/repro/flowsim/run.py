@@ -18,6 +18,19 @@ registered loss-throughput formula against the configured loss process
 ``sampling="mean"``
     Every flow sends at the deterministic steady state ``f(p)``; useful
     as an exact baseline and for capacity planning sweeps.
+``sampling="csa00"``
+    Size-bounded flows send at the short-flow effective rate
+    ``size / E[latency]`` of a registered latency model
+    (``repro.api.LATENCY_MODELS``, CSA00 at the formula's RTT by
+    default), so a finite transfer completes on the model-predicted
+    expected latency (quantised to interval boundaries) instead of the
+    long-flow steady state; unbounded flows keep ``f(p)``.
+
+A flow whose lifetime fits inside one interval -- an on-period shorter
+than the tick, or an arrival in the final instant -- emits no flowlet at
+all; such flows are counted in ``flowlets_dropped`` (and the
+``flowsim.flowlets_dropped`` telemetry counter) rather than silently
+vanishing from the rate statistics.
 
 The loop costs one event per tick plus one per generator arrival --
 *not* one per flow per RTT -- so event count is independent of the
@@ -50,7 +63,7 @@ from .flowlet import FlowRecord, Flowlet
 
 __all__ = ["FlowSimConfig", "FlowSimResult", "FlowSimulation", "run_flowsim"]
 
-_SAMPLINGS = ("estimator", "mean")
+_SAMPLINGS = ("estimator", "mean", "csa00")
 
 
 @dataclass
@@ -74,12 +87,18 @@ class FlowSimConfig:
     duration: float = 100.0
     interval: float = 1.0
     sampling: str = "estimator"
+    latency_model: Any = None
     record_flowlets: bool = False
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sampling not in _SAMPLINGS:
             raise ValueError(f"sampling must be one of {_SAMPLINGS}")
+        if self.latency_model is not None and self.sampling != "csa00":
+            raise ValueError(
+                "latency_model only applies to sampling='csa00' (got "
+                f"sampling={self.sampling!r})"
+            )
         if self.duration <= 0.0:
             raise ValueError(f"duration must be positive, got {self.duration}")
         if self.interval <= 0.0:
@@ -141,6 +160,21 @@ class FlowSimConfig:
 
         return GENERATORS.from_config(self.generator)
 
+    def resolve_latency_model(self, default_rtt: float = 1.0):
+        """The short-flow latency model of ``sampling="csa00"``.
+
+        Defaults to CSA00 at ``default_rtt`` (the caller passes the
+        resolved formula's RTT, keeping the short-flow and steady-state
+        rates on the same path) when no ``latency_model`` config is
+        given.
+        """
+        from ..api.components import LATENCY_MODELS
+        from ..core.shortflow import Csa00LatencyModel
+
+        if self.latency_model is not None:
+            return LATENCY_MODELS.from_config(self.latency_model)
+        return Csa00LatencyModel(rtt=float(default_rtt))
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -148,6 +182,7 @@ class FlowSimConfig:
         from ..api.components import (
             FORMULAS,
             GENERATORS,
+            LATENCY_MODELS,
             LOSS_PROCESSES,
             WEIGHT_PROFILES,
         )
@@ -160,6 +195,9 @@ class FlowSimConfig:
             LOSS_PROCESSES, self.loss_process
         )
         payload["profile"] = _component_config(WEIGHT_PROFILES, self.profile)
+        payload["latency_model"] = _component_config(
+            LATENCY_MODELS, self.latency_model
+        )
         return payload
 
     @classmethod
@@ -184,6 +222,7 @@ class FlowSimResult:
     num_completed: int = 0
     peak_concurrent: int = 0
     flowlets_emitted: int = 0
+    flowlets_dropped: int = 0
     events_processed: int = 0
     total_packets: float = 0.0
     mean_flow_rate: float = float("nan")
@@ -204,6 +243,7 @@ class FlowSimResult:
             "num_completed": int(self.num_completed),
             "peak_concurrent": int(self.peak_concurrent),
             "flowlets_emitted": int(self.flowlets_emitted),
+            "flowlets_dropped": int(self.flowlets_dropped),
             "events_processed": int(self.events_processed),
             "duration": float(self.duration),
             "total_packets": float(self.total_packets),
@@ -234,6 +274,11 @@ class FlowSimulation:
         self.formula = config.resolve_formula()
         self.process = config.resolve_loss_process()
         self.generator = config.resolve_generator()
+        self.latency_model = (
+            config.resolve_latency_model(default_rtt=float(self.formula.rtt))
+            if config.sampling == "csa00"
+            else None
+        )
         profile = config.resolve_profile()
         self.weights = np.asarray(profile.weights(), dtype=float)
         self.history_length = int(self.weights.size)
@@ -255,6 +300,7 @@ class FlowSimulation:
         self.num_completed = 0
         self.peak_concurrent = 0
         self.flowlets_emitted = 0
+        self.flowlets_dropped = 0
         self.total_packets = 0.0
 
     # ------------------------------------------------------------------
@@ -287,6 +333,12 @@ class FlowSimulation:
         for index in np.flatnonzero(~keep):
             flow_id = self._active_ids[index]
             count = int(self._flowlet_counts[index])
+            if count == 0:
+                # The flow lived for less than one interval (short
+                # on-period, or arrival in the final instant): it never
+                # reached a tick, so it contributes no flowlet and no
+                # rate sample.  Count it rather than dropping silently.
+                self.flowlets_dropped += 1
             self.records.append(
                 FlowRecord(
                     flow_id=flow_id,
@@ -346,6 +398,7 @@ class FlowSimulation:
                         )
                     )
                     self.num_completed += 1
+                    self.flowlets_dropped += 1
                 else:
                     still_pending.append((flow_id, start, size))
             self._pending_opens = still_pending
@@ -380,6 +433,18 @@ class FlowSimulation:
             return np.full(
                 count, float(self.formula.rate(self.process.loss_event_rate))
             )
+        if self.config.sampling == "csa00":
+            # Size-bounded flows send at the short-flow effective rate
+            # size / E[latency], completing on the model-predicted
+            # latency; unbounded flows keep the long-flow steady state.
+            nominal = float(self.process.loss_event_rate)
+            rates = np.full(count, float(self.formula.rate(nominal)))
+            bounded = np.isfinite(self._limits)
+            if bounded.any():
+                rates[bounded] = self.latency_model.transfer_rate(
+                    self._limits[bounded], nominal
+                )
+            return rates
         draws = self.process.sample_intervals(
             count * self.history_length, self.rng
         ).reshape(count, self.history_length)
@@ -457,6 +522,7 @@ class FlowSimulation:
             num_completed=self.num_completed,
             peak_concurrent=self.peak_concurrent,
             flowlets_emitted=self.flowlets_emitted,
+            flowlets_dropped=self.flowlets_dropped,
             events_processed=self.core.events_processed,
             total_packets=self.total_packets,
             mean_flow_rate=mean_flow_rate,
@@ -487,4 +553,5 @@ def run_flowsim(
         telemetry.incr("flowsim.flows_started", result.num_flows)
         telemetry.incr("flowsim.flows_completed", result.num_completed)
         telemetry.incr("flowsim.flowlets", result.flowlets_emitted)
+        telemetry.incr("flowsim.flowlets_dropped", result.flowlets_dropped)
     return result

@@ -32,6 +32,7 @@ REGISTRIES = {
     "weight-profile": api.WEIGHT_PROFILES,
     "scenario": api.SCENARIOS,
     "generator": api.GENERATORS,
+    "latency-model": api.LATENCY_MODELS,
 }
 
 ALL_COMPONENTS = [

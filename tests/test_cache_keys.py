@@ -34,6 +34,7 @@ REGISTRIES = {
     "formula": api.FORMULAS,
     "loss-process": api.LOSS_PROCESSES,
     "scenario": api.SCENARIOS,
+    "latency-model": api.LATENCY_MODELS,
 }
 
 CASES = [

@@ -31,6 +31,7 @@ baseline = "lint-baseline.json"
 deferred-imports-allow = [
     "repro.flowsim.run -> repro.api",
 ]
+dead-config-allow = ["widget"]
 
 [tool.reprolint.layers]
 telemetry = 0
@@ -431,6 +432,100 @@ def test_hygiene_int_eq_passes(tmp_path):
         "core/compare.py": "def is_two(x):\n    return x == 2\n",
     })
     assert lint(root).diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# checker 6: dead-config
+
+GIZMO_REGISTRY = REGISTRY_PREAMBLE + """\
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Gizmo:
+    size: int = 1
+
+THINGS.register("gizmo", Gizmo, example=Gizmo())
+"""
+
+
+def test_deadconfig_unreferenced_kind_flagged(tmp_path):
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+    })
+    report = lint(root)
+    assert rules(report) == ["dead-config"]
+    assert "gizmo" in report.diagnostics[0].message
+    # Registering is publishing, not referencing: the "gizmo" literal in
+    # the registration call itself did not count.
+
+
+def test_deadconfig_reference_module_literal_counts(tmp_path):
+    # repro.cli is one of the default reference modules.
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+        "cli.py": 'DEFAULT_KIND = "gizmo"\n',
+    })
+    assert lint(root).diagnostics == []
+
+
+def test_deadconfig_docstring_mention_does_not_count(tmp_path):
+    # Docstrings routinely enumerate the whole kind table; a mention
+    # there must not mask a missing real reference.
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+        "cli.py": '"""The CLI. Supports the gizmo kind."""\n',
+    })
+    assert rules(lint(root)) == ["dead-config"]
+
+
+def test_deadconfig_example_spec_counts(tmp_path):
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+    })
+    spec_dir = root / "examples" / "specs"
+    spec_dir.mkdir(parents=True)
+    (spec_dir / "demo.json").write_text(
+        json.dumps({"grid": {"thing": [{"kind": "gizmo"}]}})
+    )
+    assert lint(root).diagnostics == []
+
+
+def test_deadconfig_unparsable_spec_is_skipped(tmp_path):
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+    })
+    spec_dir = root / "examples" / "specs"
+    spec_dir.mkdir(parents=True)
+    (spec_dir / "broken.json").write_text("{not json")
+    assert rules(lint(root)) == ["dead-config"]
+
+
+def test_deadconfig_allow_list_waives(tmp_path):
+    pyproject = PYPROJECT.replace(
+        'dead-config-allow = ["widget"]',
+        'dead-config-allow = ["widget", "gizmo"]',
+    )
+    root = make_tree(tmp_path, {
+        "api/__init__.py": "",
+        "api/registry.py": GIZMO_REGISTRY,
+    }, pyproject=pyproject)
+    assert lint(root).diagnostics == []
+
+
+def test_deadconfig_allow_must_be_a_string_list(tmp_path):
+    pyproject = PYPROJECT.replace(
+        'dead-config-allow = ["widget"]',
+        'dead-config-allow = "widget"',
+    )
+    root = make_tree(tmp_path, {"core/ok.py": "x = 1\n"},
+                     pyproject=pyproject)
+    with pytest.raises(LintConfigError):
+        load_config(root)
 
 
 # ---------------------------------------------------------------------------

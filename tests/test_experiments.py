@@ -667,3 +667,33 @@ class TestDumbbellBatchRunner:
         spec = preset("fig5-ns2-batch")
         assert spec.runner == "dumbbell-batch"
         assert spec.num_points() == 3
+
+
+class TestFlatDumbbellDeprecation:
+    """The pre-registry flat dumbbell parameter form is deprecated."""
+
+    def test_flat_parameters_warn(self):
+        import warnings
+
+        from repro.experiments.registry import run_dumbbell_scenario
+
+        with pytest.warns(DeprecationWarning, match="scenario"):
+            value = run_dumbbell_scenario(
+                {"family": "ns2", "num_connections": 1, "duration": 15.0},
+                seed=5,
+            )
+        assert value["family"] == "ns2"  # still runs, just noisily
+
+    def test_scenario_config_does_not_warn(self):
+        import warnings
+
+        from repro.experiments.registry import run_dumbbell_scenario
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            value = run_dumbbell_scenario(
+                {"scenario": {"kind": "ns2", "num_connections": 1,
+                              "duration": 15.0}},
+                seed=5,
+            )
+        assert value["family"] == "ns2"

@@ -376,3 +376,119 @@ class TestCampaignIntegration:
         # The whole 2-point campaign (2 x 10k flows x 100 s) must run in
         # seconds, not minutes -- the point of the flow-level abstraction.
         assert wall < 10.0
+
+
+# ----------------------------------------------------------------------
+# Short-flow (csa00) sampling and the flowlets_dropped accounting
+# ----------------------------------------------------------------------
+class TestShortFlowSampling:
+    def test_latency_model_requires_csa00_sampling(self):
+        with pytest.raises(ValueError, match="csa00"):
+            FlowSimConfig(
+                formula="sqrt",
+                loss_event_rate=0.1,
+                latency_model={"kind": "csa00"},
+            )
+
+    def test_config_dict_round_trip_with_latency_model(self):
+        import json
+
+        config = FlowSimConfig(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "poisson-arrivals", "arrival_rate": 2.0,
+                       "mean_size": 40.0},
+            loss_event_rate=0.05,
+            sampling="csa00",
+            latency_model={"kind": "csa00", "rtt": 0.1},
+            duration=10.0,
+            seed=3,
+        )
+        payload = config.to_dict()
+        json.dumps(payload)  # JSON-safe, including the model config
+        rebuilt = FlowSimConfig.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+
+    def test_bounded_flows_send_at_the_model_rate(self):
+        from repro.core.shortflow import Csa00LatencyModel
+
+        interval = 0.5
+        result = run_flowsim(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "poisson-arrivals", "arrival_rate": 2.0,
+                       "mean_size": 40.0},
+            loss_event_rate=0.05,
+            sampling="csa00",
+            duration=120.0,
+            interval=interval,
+            seed=7,
+        )
+        model = Csa00LatencyModel(rtt=0.1)
+        records = [r for r in result.records
+                   if r.completed and r.size is not None]
+        assert len(records) > 100
+        for record in records:
+            # Every flowlet of a size-bounded flow carries the constant
+            # short-flow effective rate size / E[latency] ...
+            assert record.mean_rate == pytest.approx(
+                model.transfer_rate(record.size, 0.05), rel=1e-12
+            )
+            # ... so the flow finishes its size on the model-predicted
+            # latency, up to the tick quantisation of the simulator.
+            latency = model.latency(record.size, 0.05)
+            assert record.packets_sent >= record.size
+            assert latency < record.duration <= latency + 2.0 * interval
+
+    def test_unbounded_flows_keep_the_steady_state_rate(self):
+        formula = api.FORMULAS.from_config({"kind": "sqrt", "rtt": 0.1})
+        result = run_flowsim(
+            formula={"kind": "sqrt", "rtt": 0.1},
+            generator={"kind": "fixed-population", "num_flows": 10},
+            loss_event_rate=0.05,
+            sampling="csa00",
+            duration=10.0,
+            seed=5,
+        )
+        assert result.mean_flow_rate == pytest.approx(formula.rate(0.05))
+
+
+class TestFlowletsDropped:
+    def test_subinterval_flows_are_counted_not_silent(self):
+        from repro import telemetry
+
+        # Bursts far shorter than the sampling interval open and close
+        # between ticks, emitting zero flowlets; they used to vanish
+        # from the flowlet stream without a trace.
+        telemetry.enable(fresh=True)
+        try:
+            result = run_flowsim(
+                formula="sqrt",
+                generator={"kind": "on-off", "num_flows": 10,
+                           "mean_on": 0.05, "mean_off": 0.5},
+                loss_event_rate=0.1,
+                duration=30.0,
+                interval=1.0,
+                seed=13,
+            )
+            counted = telemetry.get_registry().counter(
+                "flowsim.flowlets_dropped"
+            )
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        assert result.flowlets_dropped > 0
+        assert result.summary()["flowlets_dropped"] == result.flowlets_dropped
+        assert counted == float(result.flowlets_dropped)
+        # Dropped flows still count as flows; only their flowlets are
+        # missing from the stream.
+        zero_flowlet = [r for r in result.records if r.num_flowlets == 0]
+        assert len(zero_flowlet) >= result.flowlets_dropped - result.num_flows
+
+    def test_steady_runs_drop_nothing(self):
+        result = run_flowsim(
+            formula="sqrt",
+            generator={"kind": "fixed-population", "num_flows": 5},
+            loss_event_rate=0.1,
+            duration=20.0,
+            seed=2,
+        )
+        assert result.flowlets_dropped == 0

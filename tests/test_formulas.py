@@ -260,3 +260,39 @@ class TestRegistry:
     def test_from_config_unknown_kind(self):
         with pytest.raises(KeyError):
             FORMULAS.from_config("cubic")
+
+
+class TestLossRateDomain:
+    """The p-domain contract shared by every registered formula kind.
+
+    Before the uniform guard, a nan slipped through every formula
+    silently (nan fails the ``<= 0`` comparison) and an inf produced a
+    silent 0.0 rate instead of a domain error.
+    """
+
+    @pytest.mark.parametrize("kind", sorted(FORMULAS.kinds()))
+    @pytest.mark.parametrize(
+        "p", [0.0, -0.01, float("nan"), float("inf"), float("-inf")],
+        ids=["zero", "negative", "nan", "inf", "-inf"],
+    )
+    def test_every_kind_rejects_out_of_domain_p(self, kind, p):
+        formula = FORMULAS.from_config(kind)
+        with pytest.raises(ValueError):
+            formula.rate(p)
+
+    @pytest.mark.parametrize("kind", sorted(FORMULAS.kinds()))
+    def test_every_kind_rejects_a_poisoned_array(self, kind):
+        formula = FORMULAS.from_config(kind)
+        with pytest.raises(ValueError):
+            formula.rate(np.array([0.1, float("nan"), 0.2]))
+
+    @pytest.mark.parametrize("kind", sorted(FORMULAS.kinds()))
+    def test_every_kind_is_finite_on_the_closed_upper_boundary(self, kind):
+        # p may reach (and exceed) 1: the controls evaluate f at
+        # 1/theta_hat, which transiently falls below one packet under
+        # heavy loss.  The rate must stay finite and positive there.
+        formula = FORMULAS.from_config(kind)
+        for p in (1.0, 1.5):
+            rate = formula.rate(p)
+            assert math.isfinite(rate)
+            assert rate > 0.0

@@ -242,29 +242,62 @@ class TestBenchCli:
         assert "campaign-smoke" in output
         assert "dry run" in output
 
-    def test_bench_quick_records_and_compares(self, tmp_path, capsys):
+    @staticmethod
+    def _install_fake_timer(monkeypatch):
+        # Replace the bench timer hook with a deterministic fake that
+        # advances one millisecond per reading: every measurement of
+        # every benchmark becomes exactly 0.001s, so back-to-back runs
+        # at --repeats 1 compare at ratio 1.0 under the *default*
+        # threshold -- no wall-clock jitter, no widened gate.
+        from itertools import count
+
+        from repro import bench
+
+        ticks = count()
+        monkeypatch.setattr(bench, "_TIMER", lambda: next(ticks) * 1e-3)
+
+    def test_bench_quick_records_and_compares(self, tmp_path, capsys,
+                                              monkeypatch):
         from repro.cli import main
 
-        # This test exercises the record/compare plumbing, not the gate:
-        # at --repeats 1 back-to-back medians of the fastest benchmarks
-        # jitter well past the default 30% threshold, so pin a wide one
-        # (the gate logic itself is covered by test_bench_regression_gate).
+        self._install_fake_timer(monkeypatch)
         argv = ["bench", "--suite", "quick", "--repeats", "1", "--warmup",
-                "0", "--quiet", "--threshold", "10.0", "--dir",
-                str(tmp_path)]
+                "0", "--quiet", "--dir", str(tmp_path)]
         assert main(list(argv)) == 0
         first = capsys.readouterr().out
         assert "starts the trajectory" in first
         payload = json.loads((tmp_path / "BENCH_1.json").read_text())
         assert payload["schema_version"] == 1
         entry = payload["benchmarks"]["kernel-montecarlo-batch"]
-        assert entry["median_s"] > 0.0
+        assert entry["median_s"] == pytest.approx(1e-3)
         assert entry["telemetry"]["counters"]["api.batch.calls"] == 1.0
 
         assert main(list(argv) + ["--check"]) == 0
         second = capsys.readouterr().out
         assert "Comparison vs" in second
+        assert "REGRESSION" not in second
         assert (tmp_path / "BENCH_2.json").exists()
+
+    def test_bench_service_suite_deterministic_at_one_repeat(
+            self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        self._install_fake_timer(monkeypatch)
+        argv = ["bench", "--suite", "service", "--repeats", "1",
+                "--warmup", "0", "--quiet", "--dir", str(tmp_path)]
+        assert main(list(argv)) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "BENCH_1.json").read_text())
+        assert set(payload["benchmarks"]) == {"prediction-service"}
+        assert payload["benchmarks"]["prediction-service"][
+            "median_s"] == pytest.approx(1e-3)
+
+        # The gate passes at the default threshold: the medians of the
+        # two runs are identical by construction.
+        assert main(list(argv) + ["--check"]) == 0
+        second = capsys.readouterr().out
+        assert "Comparison vs" in second
+        assert "REGRESSION" not in second
 
     def test_bench_regression_gate(self, tmp_path, capsys):
         from repro import bench
